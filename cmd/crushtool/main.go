@@ -1,0 +1,150 @@
+// Command crushtool builds and inspects CRUSH maps: it prints the bucket
+// hierarchy, simulates placements for a range of inputs, and reports the
+// per-device distribution quality — the software analogue of Ceph's
+// crushtool --test.
+//
+// Usage:
+//
+//	crushtool -hosts 2 -osds 16 -alg straw2 -rule replicated -reps 2 -samples 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/crush"
+	"repro/internal/metrics"
+)
+
+var algNames = map[string]crush.Alg{
+	"uniform": crush.UniformAlg,
+	"list":    crush.ListAlg,
+	"tree":    crush.TreeAlg,
+	"straw":   crush.StrawAlg,
+	"straw2":  crush.Straw2Alg,
+}
+
+func main() {
+	hosts := flag.Int("hosts", 2, "number of host buckets")
+	osds := flag.Int("osds", 16, "OSDs per host")
+	algName := flag.String("alg", "straw2", "bucket algorithm (uniform|list|tree|straw|straw2)")
+	ruleName := flag.String("rule", "replicated", "rule to test (replicated|ec)")
+	reps := flag.Int("reps", 2, "replicas / shards to place")
+	samples := flag.Int("samples", 10000, "placement inputs to simulate")
+	failOSD := flag.Int("fail", -1, "mark one OSD out and report movement")
+	decompile := flag.Bool("decompile", false, "print the map in crushtool text format and exit")
+	flag.Parse()
+
+	alg, ok := algNames[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "crushtool: unknown alg %q\n", *algName)
+		os.Exit(2)
+	}
+	m, root, err := crush.BuildCluster(crush.ClusterSpec{
+		Hosts:       *hosts,
+		OSDsPerHost: *osds,
+		HostAlg:     alg,
+		RootAlg:     alg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crushtool:", err)
+		os.Exit(1)
+	}
+	if *decompile {
+		if err := m.EncodeText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "crushtool:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rule := m.Rule("replicated_rule")
+	if *ruleName == "ec" {
+		rule = m.Rule("ec_rule")
+	}
+
+	fmt.Printf("# map: %d hosts x %d osds, alg=%s, total weight %.1f\n",
+		*hosts, *osds, alg, float64(m.TotalWeight())/float64(crush.WeightOne))
+	for _, id := range m.Buckets() {
+		b := m.Bucket(id)
+		fmt.Printf("bucket %d type=%s alg=%v items=%d weight=%.1f\n",
+			id, m.TypeName(b.Type), b.Alg, b.Size(),
+			float64(b.Weight())/float64(crush.WeightOne))
+	}
+	_ = root
+
+	counts := make([]int, m.MaxDevices())
+	bad := 0
+	for x := 0; x < *samples; x++ {
+		out, err := m.Select(rule, uint32(x), *reps, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crushtool:", err)
+			os.Exit(1)
+		}
+		if len(out) < *reps {
+			bad++
+		}
+		for _, o := range out {
+			if o >= 0 && o < len(counts) {
+				counts[o]++
+			}
+		}
+	}
+	min, max, total := counts[0], counts[0], 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	mean := float64(total) / float64(len(counts))
+	t := metrics.NewTable("placement distribution", "metric", "value")
+	t.AddRow("samples", *samples)
+	t.AddRow("underfilled placements", bad)
+	t.AddRow("mean per OSD", mean)
+	t.AddRow("min per OSD", min)
+	t.AddRow("max per OSD", max)
+	t.AddRow("spread (max/mean)", float64(max)/mean)
+	fmt.Println(t)
+
+	if *failOSD >= 0 && *failOSD < m.MaxDevices() {
+		reweight := make([]uint32, m.MaxDevices())
+		for i := range reweight {
+			reweight[i] = crush.WeightOne
+		}
+		reweight[*failOSD] = 0
+		moved := 0
+		for x := 0; x < *samples; x++ {
+			before, _ := m.Select(rule, uint32(x), *reps, nil)
+			after, _ := m.Select(rule, uint32(x), *reps, reweight)
+			if !sameSet(before, after) {
+				moved++
+			}
+		}
+		fmt.Printf("failing osd.%d moves %d/%d placements (%.1f%%; ideal ≈ %.1f%%)\n",
+			*failOSD, moved, *samples, 100*float64(moved)/float64(*samples),
+			100*float64(*reps)/float64(m.MaxDevices()))
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[int]int{}
+	for _, v := range a {
+		seen[v]++
+	}
+	for _, v := range b {
+		seen[v]--
+	}
+	for _, c := range seen {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+// Command delibabench regenerates every table and figure of the DeLiBA-K
+// paper's evaluation from the simulation, printing them as plain-text
+// tables. Select individual experiments with -only, or run everything.
+//
+// Usage:
+//
+//	delibabench [-quick] [-only fig3,fig6,tab2,...]
+//
+// Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
+// realworld headline ablations dfx buckets recovery mtu
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Full()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if err := run(cfg, sel); err != nil {
+		fmt.Fprintln(os.Stderr, "delibabench:", err)
+		os.Exit(1)
+	}
+}
+
+func printTables(tabs ...*metrics.Table) {
+	for _, t := range tabs {
+		fmt.Println(t)
+	}
+}
+
+func run(cfg experiments.Config, sel func(string) bool) error {
+	if sel("fig3") {
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Tables()...)
+	}
+	if sel("fig4") {
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Tables()...)
+	}
+	if sel("tab1") {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		printTables(experiments.Table1Table(rows))
+	}
+
+	var replSweep *experiments.HWSweepResult
+	if sel("fig6") || sel("fig7") || sel("headline") {
+		var err error
+		replSweep, err = experiments.Fig6and7(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if sel("fig6") {
+		printTables(replSweep.ThroughputTables()...)
+	}
+	if sel("fig7") {
+		printTables(replSweep.IOPSTables()...)
+	}
+	if sel("fig8") || sel("fig9") {
+		ecSweep, err := experiments.Fig8and9(cfg)
+		if err != nil {
+			return err
+		}
+		if sel("fig8") {
+			printTables(ecSweep.ThroughputTables()...)
+		}
+		if sel("fig9") {
+			printTables(ecSweep.IOPSTables()...)
+		}
+	}
+	if sel("tab2") {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Tables()...)
+	}
+	if sel("tab3") {
+		tabs, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		printTables(tabs...)
+	}
+	if sel("power") {
+		p, err := experiments.Power()
+		if err != nil {
+			return err
+		}
+		printTables(p.Table())
+	}
+	if sel("realworld") {
+		olap, err := experiments.OLAP(cfg)
+		if err != nil {
+			return err
+		}
+		oltp, err := experiments.OLTP(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(olap.Table(), oltp.Table())
+	}
+	if sel("headline") && replSweep != nil {
+		printTables(experiments.Headline(replSweep).Table())
+	}
+	if sel("ablations") {
+		sq, err := experiments.AblationSQPoll(cfg)
+		if err != nil {
+			return err
+		}
+		byp, err := experiments.AblationSchedulerBypass(cfg)
+		if err != nil {
+			return err
+		}
+		inst, err := experiments.AblationInstances(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(sq.Table(), byp.Table(), inst.Table())
+	}
+	if sel("dfx") {
+		res, err := experiments.DFX()
+		if err != nil {
+			return err
+		}
+		printTables(res.Table())
+	}
+	if sel("buckets") {
+		rows, err := experiments.BucketQuality()
+		if err != nil {
+			return err
+		}
+		printTables(experiments.BucketQualityTable(rows))
+	}
+	if sel("recovery") {
+		res, err := experiments.Recovery(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table())
+	}
+	if sel("mtu") {
+		rows, err := experiments.MTU()
+		if err != nil {
+			return err
+		}
+		printTables(experiments.MTUTable(rows))
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command dfxtool reports the DFX (Dynamic Function eXchange) configuration
+// of the DeLiBA-K FPGA design: the reconfigurable partition in SLR0, its
+// three reconfigurable modules, their resource usage, partial-bitstream
+// sizes and MCAP load times — the software analogue of Vivado's DFX
+// Configuration Analysis plus pr_verify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/crush"
+	"repro/internal/erasure"
+	"repro/internal/fpga"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	verify := flag.Bool("verify", true, "run pr_verify across all configurations")
+	exercise := flag.Bool("exercise", false, "simulate a live RM swap sequence")
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	m, _, err := crush.BuildCluster(crush.ClusterSpec{Hosts: 2, OSDsPerHost: 16})
+	if err != nil {
+		fatal(err)
+	}
+	code, err := erasure.New(4, 2, erasure.VandermondeRS)
+	if err != nil {
+		fatal(err)
+	}
+	shell, err := fpga.BuildShell(eng, fpga.ShellConfig{
+		Map:  m,
+		Rule: m.Rule("replicated_rule"),
+		Code: code,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("device: %s (3 SLRs)\n", shell.Dev.Name)
+	for _, slr := range shell.Dev.SLRs {
+		fmt.Printf("  SLR%d: total %v\n        used  %v\n", slr.ID, slr.Total, slr.Used())
+	}
+	fmt.Printf("partition: %q in SLR%d, budget %v\n\n",
+		shell.RP.Name, shell.RP.SLR, shell.RP.Budget)
+
+	t := metrics.NewTable("DFX Configuration Analysis",
+		"RM", "kernel", "LUTs", "LUT %", "FFs", "BRAM", "URAM", "partial BIT", "MCAP load")
+	for _, row := range shell.RP.ConfigurationAnalysis() {
+		t.AddRow(row.RM, row.Kernel.String(),
+			row.Usage.LUTs, fmt.Sprintf("%.2f%%", row.UtilPct["LUT"]),
+			row.Usage.Registers, row.Usage.BRAM, row.Usage.URAM,
+			fmt.Sprintf("%.1fMB", float64(row.BitBytes)/1e6),
+			row.LoadTime.String())
+	}
+	fmt.Println(t)
+
+	if *verify {
+		var configs []fpga.Configuration
+		for _, rm := range shell.RP.RMs() {
+			configs = append(configs, fpga.Configuration{RP: shell.RP, RM: rm})
+		}
+		if err := fpga.PrVerify(configs); err != nil {
+			fmt.Println("pr_verify: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("pr_verify: all configurations compatible")
+	}
+
+	if *exercise {
+		fmt.Println("\nlive swap exercise (static region keeps serving):")
+		eng.Spawn("swap", func(p *sim.Proc) {
+			for _, k := range []fpga.KernelID{fpga.KUniform, fpga.KList, fpga.KTree} {
+				start := p.Now()
+				if err := shell.LoadDynKernel(p, k); err != nil {
+					fmt.Println("  swap error:", err)
+					return
+				}
+				fmt.Printf("  loaded %-8v in %v (power now %.1f W)\n",
+					k, p.Now().Sub(start), shell.Power())
+			}
+		})
+		eng.Run()
+		fmt.Printf("reconfigurations: %d, cumulative reconfig time: %v\n",
+			shell.RP.Reconfigs(), shell.RP.TotalReconfigTime())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfxtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Package deliba is the public API of the DeLiBA-K reproduction: a
+// simulation-backed implementation of the three DeLiBA framework
+// generations for FPGA-accelerated distributed block storage (Khan & Koch,
+// SC 2024), together with every substrate the paper depends on — io_uring,
+// the Linux multi-queue block layer, the QDMA/FPGA card model with DFX
+// partial reconfiguration, CRUSH placement, Reed-Solomon erasure coding,
+// and a Ceph-like OSD cluster.
+//
+// # Quickstart
+//
+//	tb, _ := deliba.NewTestbed(deliba.DefaultTestbedConfig())
+//	stack, _ := tb.NewStack(deliba.StackDKHW, false)
+//	res, _ := deliba.RunWorkload(tb, stack, deliba.Workload{
+//		ReadPct: 0, Random: true, BlockSize: 4096,
+//		QueueDepth: 16, Jobs: 3, Ops: 1000,
+//	})
+//	fmt.Printf("%.1f kIOPS, %.1f MB/s\n", res.KIOPS(), res.MBps())
+//
+// The full experiment harness that regenerates the paper's tables and
+// figures lives in internal/experiments and is driven by cmd/delibabench.
+package deliba
+
+import (
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/sim"
+)
+
+// TestbedConfig shapes a simulated deployment. See core.TestbedConfig.
+type TestbedConfig = core.TestbedConfig
+
+// Testbed is a fully wired deployment (cluster, fabric, pools, images).
+type Testbed = core.Testbed
+
+// Stack is one framework generation's end-to-end I/O path.
+type Stack = core.Stack
+
+// StackKind selects a framework variant.
+type StackKind = core.StackKind
+
+// The five buildable framework variants.
+const (
+	// StackDKHW is hardware-accelerated DeLiBA-K (the paper's D3).
+	StackDKHW = core.StackDKHW
+	// StackD2HW is hardware-accelerated DeLiBA-2.
+	StackD2HW = core.StackD2HW
+	// StackD1HW is hardware-accelerated DeLiBA-1 (no erasure coding).
+	StackD1HW = core.StackD1HW
+	// StackDKSW is the DeLiBA-K software baseline.
+	StackDKSW = core.StackDKSW
+	// StackD2SW is the DeLiBA-2 software baseline.
+	StackD2SW = core.StackD2SW
+)
+
+// DefaultTestbedConfig mirrors the paper's industrial-lab testbed: 2 server
+// nodes x 16 OSDs over 10 GbE with one client.
+func DefaultTestbedConfig() TestbedConfig { return core.DefaultTestbedConfig() }
+
+// NewTestbed builds the simulated cluster.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return core.NewTestbed(cfg) }
+
+// Workload is a simplified fio job description.
+type Workload struct {
+	// ReadPct is the read percentage (100 = pure read).
+	ReadPct int
+	// Random selects random instead of sequential access.
+	Random bool
+	// BlockSize in bytes.
+	BlockSize int
+	// QueueDepth per job.
+	QueueDepth int
+	// Jobs is the number of parallel workers.
+	Jobs int
+	// Ops per job.
+	Ops int
+	// Seed for reproducibility (0 picks a fixed default).
+	Seed uint64
+}
+
+// Result is a completed workload's measurements.
+type Result = fio.Result
+
+// RunWorkload executes the workload on the stack in virtual time and
+// returns latency and throughput statistics. The stack is closed when the
+// run finishes; build a fresh one (on a fresh testbed) per run.
+func RunWorkload(tb *Testbed, stack Stack, w Workload) (*Result, error) {
+	pattern := core.Seq
+	if w.Random {
+		pattern = core.Rand
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return fio.Run(tb.Eng, stack, fio.JobSpec{
+		Name:       "workload",
+		ReadPct:    w.ReadPct,
+		Pattern:    pattern,
+		BlockSize:  w.BlockSize,
+		QueueDepth: w.QueueDepth,
+		Jobs:       w.Jobs,
+		Ops:        w.Ops,
+		Seed:       seed,
+	})
+}
+
+// Microsecond re-exports the virtual-time unit for latency thresholds.
+const Microsecond = sim.Microsecond

@@ -1,0 +1,94 @@
+// Multi-tenant example: the SR-IOV support DeLiBA-K added for the
+// industrial lab — a bare-metal tenant on the physical function and a VM
+// tenant on a virtual function share one QDMA core and card, each with its
+// own UIFD driver, queue sets, and block-layer instance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/blockmq"
+	"repro/internal/qdma"
+	"repro/internal/sim"
+	"repro/internal/uifd"
+)
+
+// tenantBackend is a stand-in card pipeline with a fixed service time, so
+// the example focuses on the queueing/virtualisation machinery.
+type tenantBackend struct {
+	eng     *sim.Engine
+	latency sim.Duration
+	served  map[int]int
+}
+
+func (b *tenantBackend) Process(req uifd.CardRequest, done func(err error)) {
+	b.served[req.Tenant]++
+	b.eng.Schedule(b.latency, func() { done(nil) })
+}
+
+func main() {
+	eng := sim.NewEngine()
+	qe := qdma.New(eng, qdma.DefaultConfig())
+	backend := &tenantBackend{eng: eng, latency: 25 * sim.Microsecond, served: map[int]int{}}
+	tenancy := uifd.NewTenancy(eng, qe)
+
+	bare, err := tenancy.AddTenant(uifd.BareMetal, 3, qdma.ReplicationQueue, backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := tenancy.AddTenant(uifd.VirtualMachine, 2, qdma.ErasureQueue, backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tenant 0: %v function, %d queue sets (%v)\n",
+		kindName(bare.Function().Kind), len(bare.QueueSets()), qdma.ReplicationQueue)
+	fmt.Printf("tenant 1: %v function, %d queue sets (%v)\n",
+		kindName(vm.Function().Kind), len(vm.QueueSets()), qdma.ErasureQueue)
+
+	mqBare, err := blockmq.New(eng, blockmq.Config{CPUs: 3, HWQueues: 3, TagsPerHW: 32, Bypass: true}, bare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mqVM, err := blockmq.New(eng, blockmq.Config{CPUs: 2, HWQueues: 2, TagsPerHW: 32, Bypass: true}, vm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both tenants hammer the shared card concurrently.
+	const perTenant = 400
+	doneBare, doneVM := 0, 0
+	eng.Spawn("bare-metal", func(p *sim.Proc) {
+		for i := 0; i < perTenant; i++ {
+			mqBare.Submit(p, blockmq.OpWrite, int64(i)*4096, 4096, i%3, func(error) { doneBare++ })
+			p.Sleep(2 * sim.Microsecond)
+		}
+	})
+	eng.Spawn("vm", func(p *sim.Proc) {
+		for i := 0; i < perTenant; i++ {
+			mqVM.Submit(p, blockmq.OpRead, int64(i)*8192, 8192, i%2, func(error) { doneVM++ })
+			p.Sleep(3 * sim.Microsecond)
+		}
+	})
+	end := eng.Run()
+
+	fmt.Printf("\nafter %v of simulated load:\n", end)
+	fmt.Printf("  bare-metal tenant completed %d/%d writes (card saw %d)\n",
+		doneBare, perTenant, backend.served[0])
+	fmt.Printf("  VM tenant completed %d/%d reads  (card saw %d)\n",
+		doneVM, perTenant, backend.served[1])
+	tr, bytes, stalls := qe.Stats()
+	fmt.Printf("  shared QDMA core: %d transfers, %d bytes moved, %d admission stalls\n",
+		tr, bytes, stalls)
+	fmt.Printf("  queue sets allocated: %d of %d\n", qe.QueueSets(), qdma.MaxQueueSets)
+	if doneBare == perTenant && doneVM == perTenant {
+		fmt.Println("tenant isolation verified: both tenants completed all I/O on one card ✔")
+	}
+}
+
+func kindName(k qdma.FuncKind) string {
+	if k == qdma.PF {
+		return "PF (physical)"
+	}
+	return "VF (virtual)"
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockmq"
+	"repro/internal/fpga"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+	"repro/internal/sim"
+	"repro/internal/uifd"
+)
+
+// cardBackend is the FPGA-side pipeline shared by DeLiBA-2 and DeLiBA-K:
+// once a block request reaches the card, it is mapped to backing objects,
+// placed by a CRUSH accelerator, (for EC writes) encoded by the RS
+// accelerator, and fanned out to the OSD nodes over the card's own TCP/IP
+// stack. For DeLiBA-K the kernels and TCP path are RTL; for DeLiBA-2 the
+// HLS variants are modelled by scaling the kernel latency and using the HLS
+// stack profile on the card's fabric host.
+type cardBackend struct {
+	eng   *sim.Engine
+	cm    CostModel
+	shell *fpga.Shell
+	fan   *Fanout
+	image *rbd.Image
+	pool  *rados.Pool
+	// hls selects DeLiBA-2's HLS timing.
+	hls bool
+	// prof optionally records stage latencies.
+	prof *StageProfile
+	// pipeNextFree serializes the card's fixed per-I/O pipeline stage
+	// (descriptor handling + packetisation FSM).
+	pipeNextFree sim.Time
+}
+
+// reservePipe books the card pipeline FSM for cost, returning the wait
+// until this I/O's slot completes.
+func (cb *cardBackend) reservePipe(cost sim.Duration) sim.Duration {
+	now := cb.eng.Now()
+	start := now
+	if cb.pipeNextFree > start {
+		start = cb.pipeNextFree
+	}
+	cb.pipeNextFree = start.Add(cost)
+	return cb.pipeNextFree.Sub(now)
+}
+
+// Process implements uifd.CardBackend (the DeLiBA-K entry point).
+func (cb *cardBackend) Process(req uifd.CardRequest, done func(err error)) {
+	op := Read
+	if req.Op == blockmq.OpWrite {
+		op = Write
+	}
+	pattern := Seq
+	if req.Flags&blockmq.FlagRandom != 0 {
+		pattern = Rand
+	}
+	cb.process(op, pattern, req.Off, req.Len, done)
+}
+
+// process runs the card pipeline for one block I/O. It is also called
+// directly by the DeLiBA-2 stack, which reaches the card via its legacy DMA
+// path instead of UIFD/QDMA.
+func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, done func(error)) {
+	exts, err := cb.image.Extents(off, n)
+	if err != nil {
+		cb.eng.Schedule(0, func() { done(err) })
+		return
+	}
+	sub := join(cb.eng, len(exts), done)
+	for _, e := range exts {
+		cb.processExtent(op, pattern, e, sub)
+	}
+}
+
+func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, done func(error)) {
+	opts := rados.ReqOpts{Random: pattern == Rand}
+	pg := cb.fan.Cluster.PGOf(cb.pool, e.Object)
+
+	// Stage ④: the CRUSH kernel computes the placement on the card.
+	accel := cb.shell.Straw2
+	endAccel := cb.prof.span(StageAccel)
+	accel.Select(pg, cb.pool.Width(), func(_ []int, err error) {
+		endAccel()
+		if err != nil {
+			done(err)
+			return
+		}
+		// The Fanout recomputes the identical placement internally; the
+		// accelerator charge above is the hardware time for it.
+		extra := cb.hlsExtra(accel.Spec, cb.pool.Width())
+		proc := cb.cm.CardProcessing
+		if cb.hls {
+			proc = cb.cm.HLSCardProcessing
+		}
+		cb.after(extra+cb.reservePipe(proc), func() {
+			fanDone := func(endFan func()) func(error) {
+				return func(err error) {
+					endFan()
+					done(err)
+				}
+			}
+			switch {
+			case op == Write && cb.pool.Kind == rados.ECPool:
+				// Stage ④ continued: RS encode on the card, then shard
+				// fan-out over the card NIC (stage ⑥).
+				rs := cb.shell.RS
+				endEnc := cb.prof.span(StageEncode)
+				rs.Encode(e.Len, nil, func(err error) {
+					endEnc()
+					if err != nil {
+						done(err)
+						return
+					}
+					cb.after(cb.hlsExtra(rs.Spec, 1), func() {
+						cb.fan.WriteEC(cb.pool, e.Object, e.Off, e.Len, opts,
+							fanDone(cb.prof.span(StageFanout)))
+					})
+				})
+			case op == Write:
+				cb.fan.WriteReplicated(cb.pool, e.Object, e.Off, e.Len, opts,
+					fanDone(cb.prof.span(StageFanout)))
+			case cb.pool.Kind == rados.ECPool:
+				endFan := cb.prof.span(StageFanout)
+				cb.fan.ReadEC(cb.pool, e.Object, e.Off, e.Len, opts, func(needDecode bool, err error) {
+					endFan()
+					if err != nil || !needDecode {
+						done(err)
+						return
+					}
+					// Degraded read: reconstruct on the card.
+					cb.shell.RS.Encode(e.Len, nil, func(err error) { done(err) })
+				})
+			default:
+				cb.fan.ReadReplicated(cb.pool, e.Object, e.Off, e.Len, opts,
+					fanDone(cb.prof.span(StageFanout)))
+			}
+		})
+	})
+}
+
+// hlsExtra returns the additional latency an HLS kernel pays over the RTL
+// redesign (zero for DeLiBA-K).
+func (cb *cardBackend) hlsExtra(spec fpga.KernelSpec, passes int) sim.Duration {
+	if !cb.hls || cb.cm.HLSLatencyScale <= 1 {
+		return 0
+	}
+	return sim.Duration(float64(spec.PipelineLatency()) * (cb.cm.HLSLatencyScale - 1) * float64(passes))
+}
+
+func (cb *cardBackend) after(d sim.Duration, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	cb.eng.Schedule(d, fn)
+}
+
+// pcieTime is the legacy (pre-QDMA) host<->card transfer time for D1/D2.
+func pcieTime(n int) sim.Duration {
+	const legacyPCIeBps = 12e9 // Gen3 x16 with older DMA engine efficiency
+	return sim.Duration(float64(n) / legacyPCIeBps * 1e9)
+}
+
+var errNoECInD1 = fmt.Errorf("core: DeLiBA-1 has no erasure-coding accelerators")

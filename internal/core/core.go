@@ -1,0 +1,109 @@
+// Package core assembles the DeLiBA framework generations end to end: the
+// paper's contribution (DeLiBA-K: io_uring host API + DMQ kernel block layer
+// + UIFD driver + QDMA + RTL-accelerated FPGA card) and both baselines
+// (DeLiBA-1 and DeLiBA-2) over the shared substrates — the simulated Ceph
+// cluster, CRUSH, erasure coding, the network fabric and the FPGA device
+// model.
+//
+// Every generation exposes the same Stack interface so the fio workload
+// generator and the experiment harnesses drive them interchangeably.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// OpType is a block I/O direction.
+type OpType int
+
+const (
+	// Read transfers device-to-host.
+	Read OpType = iota
+	// Write transfers host-to-device.
+	Write
+)
+
+func (o OpType) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Pattern is the access pattern hint carried to the drive model.
+type Pattern int
+
+const (
+	// Seq marks sequential access.
+	Seq Pattern = iota
+	// Rand marks random access.
+	Rand
+)
+
+func (p Pattern) String() string {
+	if p == Seq {
+		return "seq"
+	}
+	return "rand"
+}
+
+// Stack is one framework generation's full I/O path over the virtual disk:
+// Submit starts a block I/O at a byte offset of the image and calls done
+// exactly once on completion. Implementations are asynchronous; callers
+// bound their queue depth by counting outstanding dones.
+type Stack interface {
+	// Name identifies the generation/variant, e.g. "deliba-k".
+	Name() string
+	// Submit starts one block I/O from worker CPU cpu.
+	Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error))
+	// ImageBytes returns the virtual disk size the stack exposes.
+	ImageBytes() int64
+	// Close releases stack resources (rings, pollers) after a run.
+	Close()
+}
+
+// Generation labels the three framework versions.
+type Generation int
+
+const (
+	// D1 is DeLiBA-1: NBD user-space path, HLS accelerators, host-side
+	// networking, no erasure coding support.
+	D1 Generation = iota + 1
+	// D2 is DeLiBA-2: NBD user-space path, HLS accelerators and HLS
+	// TCP/IP on the FPGA.
+	D2
+	// DK is DeLiBA-K: io_uring + DMQ + UIFD + QDMA + RTL accelerators +
+	// RTL TCP/IP, with DFX partial reconfiguration.
+	DK
+)
+
+func (g Generation) String() string {
+	switch g {
+	case D1:
+		return "deliba-1"
+	case D2:
+		return "deliba-2"
+	case DK:
+		return "deliba-k"
+	default:
+		return fmt.Sprintf("generation(%d)", int(g))
+	}
+}
+
+// blocking runs an async submit synchronously on a proc.
+func blocking(p *sim.Proc, submit func(done func(error))) error {
+	c := p.Engine().NewCompletion()
+	submit(func(err error) { c.Complete(nil, err) })
+	_, err := p.Await(c)
+	return err
+}
+
+// Do runs one I/O synchronously on a proc (convenience for tests and
+// latency-mode benchmarks).
+func Do(p *sim.Proc, s Stack, op OpType, pattern Pattern, off int64, n int, cpu int) error {
+	return blocking(p, func(done func(error)) {
+		s.Submit(op, pattern, off, n, cpu, done)
+	})
+}

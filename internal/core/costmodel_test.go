@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The cost model's internal orderings are what every experiment's shape
+// rests on; pin them so a miscalibration fails loudly rather than silently
+// flattening a figure.
+
+func TestCostModelStackOrdering(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, n := range []int{64, 4096, 131072} {
+		rtl := cm.RTLStack.Cost(n)
+		hls := cm.HLSStack.Cost(n)
+		host := cm.HostStack.Cost(n)
+		d1 := cm.D1NetStack.Cost(n)
+		if !(rtl < host) {
+			t.Errorf("n=%d: RTL (%v) not below host (%v)", n, rtl, host)
+		}
+		if !(rtl < hls) {
+			t.Errorf("n=%d: RTL (%v) not below HLS (%v)", n, rtl, hls)
+		}
+		if !(host < d1) {
+			t.Errorf("n=%d: host (%v) not below D1 daemon path (%v)", n, host, d1)
+		}
+	}
+	// The HLS pipeline's weakness is per-byte: at large payloads it must
+	// exceed even D1's host path per message.
+	if cm.HLSStack.Cost(131072) < cm.HostStack.Cost(131072) {
+		t.Error("HLS not slower than kernel stack at 128kB")
+	}
+}
+
+func TestCostModelHostPathOrdering(t *testing.T) {
+	cm := DefaultCostModel()
+	for _, n := range []int{4096, 131072} {
+		d1 := cm.D1Host.PathCost(n)
+		d2 := cm.D2Host.PathCost(n)
+		if d1 <= d2 {
+			t.Errorf("n=%d: D1 host path (%v) not above D2 (%v)", n, d1, d2)
+		}
+	}
+	if cm.D1Host.ContextSwitches != 6 || cm.D2Host.ContextSwitches != 5 {
+		t.Errorf("context switch counts %d/%d, paper says 6/5",
+			cm.D1Host.ContextSwitches, cm.D2Host.ContextSwitches)
+	}
+}
+
+func TestCostModelAcceleratorVsSoftware(t *testing.T) {
+	cm := DefaultCostModel()
+	// The inline software placement cost must dwarf the card pipeline cost
+	// — that gap is the hardware win.
+	if cm.SWPlacement <= cm.CardProcessing {
+		t.Error("software placement not above card processing")
+	}
+	if cm.HLSLatencyScale <= 1.0 {
+		t.Error("HLS scale must exceed 1 (the 45.71% RTL improvement)")
+	}
+	// EC software costs grow with size.
+	if cm.SWECEncode(131072) <= cm.SWECEncode(4096) {
+		t.Error("EC encode cost does not scale")
+	}
+	if cm.SWECDecode(4096) <= 0 {
+		t.Error("EC decode cost missing")
+	}
+}
+
+func TestScaleByKiB(t *testing.T) {
+	ref := 10 * sim.Microsecond
+	if got := scaleByKiB(ref, 4096, 4096); got != ref {
+		t.Fatalf("at reference size: %v", got)
+	}
+	// Half fixed + half variable: doubling size gives 1.5x.
+	if got := scaleByKiB(ref, 8192, 4096); got != ref*3/2 {
+		t.Fatalf("double size: %v, want %v", got, ref*3/2)
+	}
+	if got := scaleByKiB(ref, 0, 4096); got != ref/2 {
+		t.Fatalf("zero size: %v, want fixed half %v", got, ref/2)
+	}
+}
+
+func TestDefaultTestbedShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	if cfg.Nodes != 2 || cfg.OSDsPerNode != 16 {
+		t.Errorf("testbed %dx%d, paper has 2x16", cfg.Nodes, cfg.OSDsPerNode)
+	}
+	if cfg.ECK != 4 || cfg.ECM != 2 {
+		t.Errorf("EC geometry %d+%d", cfg.ECK, cfg.ECM)
+	}
+	if cfg.CM.NICBitsPerSec != 10e9 {
+		t.Errorf("NIC rate %v, paper uses 10 GbE", cfg.CM.NICBitsPerSec)
+	}
+	if DKInstances != 3 {
+		t.Errorf("io_uring instances = %d, paper uses 3", DKInstances)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/crush"
+	"repro/internal/netsim"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// Fanout issues object operations from a client-side endpoint directly to
+// the acting OSDs — the DeLiBA protocol. Unlike the software Ceph baseline
+// (rados.Client), there is no primary-copy hop: the client (host CPU for
+// DeLiBA-1, FPGA card for DeLiBA-2/-K) replicates or shards itself and
+// talks to every OSD in parallel.
+type Fanout struct {
+	Cluster *rados.Cluster
+	From    *netsim.Host
+}
+
+// errOf converts a rados.Result to an error.
+func errOf(r rados.Result) error { return r.Err }
+
+// zeroPool avoids per-op payload allocation on the timing-only fan-out
+// paths (stores only use the length).
+var zeroPool = make([]byte, 1<<20)
+
+// zeros returns an n-byte zero slice, shared when it fits the pool.
+func zeros(n int) []byte {
+	if n <= len(zeroPool) {
+		return zeroPool[:n]
+	}
+	return make([]byte, n)
+}
+
+// join invokes done(first error) after n sub-operations complete.
+func join(eng *sim.Engine, n int, done func(error)) func(error) {
+	remaining := n
+	var firstErr error
+	return func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+}
+
+// WriteReplicated sends n bytes to every up member of the object's acting
+// set in parallel and completes when all acks return.
+func (f *Fanout) WriteReplicated(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	c := f.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		done(err)
+		return
+	}
+	var up []int
+	for _, o := range acting {
+		if o != crush.ItemNone && c.OSDs[o].Up() {
+			up = append(up, o)
+		}
+	}
+	if len(up) == 0 {
+		done(fmt.Errorf("core: pg for %q has no up replicas", obj))
+		return
+	}
+	sub := join(c.Eng, len(up), done)
+	for _, o := range up {
+		o := o
+		node := c.NodeOf(o)
+		c.Fabric.Send(f.From, node, rados.HdrBytes+n, func() {
+			c.OSDs[o].SubmitOpts(opts, rados.OpWrite, obj, off, zeros(n), 0, func(r rados.Result) {
+				c.Fabric.Send(node, f.From, rados.HdrBytes, func() { sub(errOf(r)) })
+			})
+		})
+	}
+}
+
+// ReadReplicated fetches n bytes from the acting primary.
+func (f *Fanout) ReadReplicated(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	c := f.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		done(err)
+		return
+	}
+	primary, ok := c.PrimaryFor(acting)
+	if !ok {
+		done(fmt.Errorf("core: pg for %q has no up replicas", obj))
+		return
+	}
+	node := c.NodeOf(primary)
+	c.Fabric.Send(f.From, node, rados.HdrBytes, func() {
+		c.OSDs[primary].SubmitOpts(opts, rados.OpRead, obj, off, nil, n, func(r rados.Result) {
+			c.Fabric.Send(node, f.From, rados.HdrBytes+n, func() { done(errOf(r)) })
+		})
+	})
+}
+
+// WriteEC sends one shard of size ceil(n/k) to each up acting rank in
+// parallel (the client has already erasure-encoded the stripe).
+func (f *Fanout) WriteEC(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	c := f.Cluster
+	if pool.Kind != rados.ECPool {
+		done(fmt.Errorf("core: WriteEC on non-EC pool %q", pool.Name))
+		return
+	}
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		done(err)
+		return
+	}
+	shardSize := (n + pool.K - 1) / pool.K
+	var targets []int
+	for _, o := range acting {
+		if o != crush.ItemNone && c.OSDs[o].Up() {
+			targets = append(targets, o)
+		}
+	}
+	if len(targets) < pool.K {
+		done(fmt.Errorf("core: pg for %q has %d up shards, need >= %d", obj, len(targets), pool.K))
+		return
+	}
+	sub := join(c.Eng, len(targets), done)
+	for rank, o := range acting {
+		if o == crush.ItemNone || !c.OSDs[o].Up() {
+			continue
+		}
+		o := o
+		key := fmt.Sprintf("%s:%d.s%d", obj, off, rank)
+		node := c.NodeOf(o)
+		c.Fabric.Send(f.From, node, rados.HdrBytes+shardSize, func() {
+			c.OSDs[o].SubmitOpts(opts, rados.OpWrite, key, 0, zeros(shardSize), 0, func(r rados.Result) {
+				c.Fabric.Send(node, f.From, rados.HdrBytes, func() { sub(errOf(r)) })
+			})
+		})
+	}
+}
+
+// ReadEC gathers k shards in parallel (data ranks preferred) and completes
+// when the slowest arrives. needDecode is reported so the caller can charge
+// reconstruction when parity shards were needed.
+func (f *Fanout) ReadEC(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(needDecode bool, err error)) {
+	c := f.Cluster
+	if pool.Kind != rados.ECPool {
+		done(false, fmt.Errorf("core: ReadEC on non-EC pool %q", pool.Name))
+		return
+	}
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		done(false, err)
+		return
+	}
+	shardSize := (n + pool.K - 1) / pool.K
+	type src struct{ rank, osd int }
+	var srcs []src
+	for rank := 0; rank < pool.K && len(srcs) < pool.K; rank++ {
+		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
+			srcs = append(srcs, src{rank, o})
+		}
+	}
+	needDecode := len(srcs) < pool.K
+	for rank := pool.K; rank < pool.K+pool.M && len(srcs) < pool.K; rank++ {
+		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
+			srcs = append(srcs, src{rank, o})
+		}
+	}
+	if len(srcs) < pool.K {
+		done(needDecode, fmt.Errorf("core: pg for %q has too few up shards", obj))
+		return
+	}
+	sub := join(c.Eng, len(srcs), func(err error) { done(needDecode, err) })
+	for _, s := range srcs {
+		s := s
+		key := fmt.Sprintf("%s:%d.s%d", obj, off, s.rank)
+		node := c.NodeOf(s.osd)
+		c.Fabric.Send(f.From, node, rados.HdrBytes, func() {
+			c.OSDs[s.osd].SubmitOpts(opts, rados.OpRead, key, 0, nil, shardSize, func(r rados.Result) {
+				c.Fabric.Send(node, f.From, rados.HdrBytes+shardSize, func() { sub(errOf(r)) })
+			})
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fpga"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// TestSixStageLifecycleCounters drives one DK-HW write end to end and
+// verifies every stage of the paper's Fig. 2 actually participated.
+func TestSixStageLifecycleCounters(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	cfg.Jitter = false
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := tb.NewStack(StackDKHW, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk := stack.(*dkHWStack)
+	tb.Eng.Spawn("io", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if err := Do(p, stack, Write, Seq, int64(i)*4096, 4096, i%DKInstances); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+	})
+	tb.Eng.Run()
+	stack.Close()
+
+	// Stage ①: rings submitted and completed all ops without syscalls.
+	var enters, submitted, completed uint64
+	for _, r := range dk.rs.rings {
+		e, s, c, _, _ := r.Stats()
+		enters += e
+		submitted += s
+		completed += c
+	}
+	if enters != 0 {
+		t.Errorf("stage 1: SQPOLL made %d enter syscalls", enters)
+	}
+	if submitted != 8 || completed != 8 {
+		t.Errorf("stage 1: submitted=%d completed=%d", submitted, completed)
+	}
+	// Stage ②: the DMQ bypass issued directly.
+	st := dk.mq.Stats()
+	if st.Submitted != 8 || st.Completed != 8 {
+		t.Errorf("stage 2: mq %+v", st)
+	}
+	if st.DirectHits != 8 || st.SchedPass != 0 {
+		t.Errorf("stage 2: bypass not used: %+v", st)
+	}
+	// Stage ③: UIFD/QDMA carried every write.
+	if _, w := dk.drv.Stats(); w != 8 {
+		t.Errorf("stage 3: UIFD writes = %d", w)
+	}
+	qsCompletions := 0
+	for _, qs := range dk.drv.QueueSets() {
+		qsCompletions += qs.Completions()
+	}
+	if qsCompletions != 16 { // one H2C + one C2H per op
+		t.Errorf("stage 3: QDMA completions = %d, want 16", qsCompletions)
+	}
+	// Stage ④: the CRUSH kernel ran once per op.
+	if dk.shell.Straw2.Ops() != 8 {
+		t.Errorf("stage 4: accel ops = %d", dk.shell.Straw2.Ops())
+	}
+	// Stage ⑥: OSDs served 2 replicas per op over the card NIC.
+	served := uint64(0)
+	for _, o := range tb.Cluster.OSDs {
+		served += o.Served()
+	}
+	if served != 16 {
+		t.Errorf("stage 6: OSD services = %d, want 16", served)
+	}
+	card := tb.Fabric.Host("fpga-cmac")
+	if card == nil || card.NIC.TxMessages() == 0 {
+		t.Error("stage 6: card NIC never transmitted")
+	}
+}
+
+// TestDKHWAvailabilityThroughFailure runs DK-HW load while an OSD dies; the
+// monitor ejects it, placements remap, the reconfiguration policy swaps the
+// RM — and not a single I/O fails.
+func TestDKHWAvailabilityThroughFailure(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := rados.NewMonitor(tb.Cluster)
+	mon.HeartbeatEvery = 500 * sim.Microsecond
+	mon.Grace = 2 * sim.Millisecond
+	stack, err := tb.NewStack(StackDKHW, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk := stack.(*dkHWStack)
+	pol := NewReconfigPolicy(tb.Eng, dk.shell, mon)
+	mon.Start()
+
+	const ops = 150
+	failures := 0
+	tb.Eng.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			if err := Do(p, stack, Write, Rand, int64(i%512)*4096, 4096, i%DKInstances); err != nil {
+				failures++
+			}
+			if i == 30 {
+				tb.Cluster.OSDs[9].SetUp(false)
+			}
+			p.Sleep(100 * sim.Microsecond)
+		}
+	})
+	tb.Eng.RunUntil(sim.Time(60 * sim.Millisecond))
+	mon.Stop()
+	tb.Eng.Run()
+	stack.Close()
+
+	if failures != 0 {
+		t.Fatalf("%d I/Os failed across the failure window", failures)
+	}
+	if mon.Reweights()[9] != 0 {
+		t.Fatal("monitor never ejected osd.9")
+	}
+	// The policy re-evaluated on the map change; with 31 devices it stays
+	// on tree, so just require a live RM consistent with its decision.
+	rm := dk.shell.RP.Active()
+	if rm == nil {
+		t.Fatal("no live RM after map change")
+	}
+	if rm.Kernel != pol.Current {
+		t.Fatalf("live RM %v != policy decision %v", rm.Kernel, pol.Current)
+	}
+	// And the dead OSD no longer receives traffic once ejected: write more
+	// and check its counter stays put.
+	before := tb.Cluster.OSDs[9].Served()
+	tb.Eng.Spawn("post", func(p *sim.Proc) {
+		stack2, err := tb.NewStack(StackD2SW, false) // fresh stack on same testbed
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 40; i++ {
+			Do(p, stack2, Write, Rand, int64(i)*8192, 4096, 0)
+		}
+		stack2.Close()
+	})
+	tb.Eng.Run()
+	if got := tb.Cluster.OSDs[9].Served(); got != before {
+		t.Fatalf("ejected OSD served %d new requests", got-before)
+	}
+	_ = fpga.KTree
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// StageProfile collects per-stage latency histograms along the I/O
+// lifecycle — the profiling/tracing capability the paper's conclusion
+// announces as future work ("tracing Ceph and Linux kernel operations
+// related to erasure coding"). Attach one to a testbed with
+// EnableProfiling before building a stack; the DeLiBA-K pipeline then
+// records each operation's time in the kernel path, the placement
+// accelerator, the erasure encoder, and the network fan-out.
+type StageProfile struct {
+	eng   *sim.Engine
+	hists map[string]*metrics.Histogram
+}
+
+// NewStageProfile returns an empty profile.
+func NewStageProfile(eng *sim.Engine) *StageProfile {
+	return &StageProfile{eng: eng, hists: make(map[string]*metrics.Histogram)}
+}
+
+// EnableProfiling attaches a profile to the testbed; stacks built after
+// this call record stage timings into it.
+func (tb *Testbed) EnableProfiling() *StageProfile {
+	if tb.Profile == nil {
+		tb.Profile = NewStageProfile(tb.Eng)
+	}
+	return tb.Profile
+}
+
+// span starts a stage measurement; invoke the returned func at stage end.
+// A nil receiver is a no-op, so call sites need no guards.
+func (sp *StageProfile) span(stage string) func() {
+	if sp == nil {
+		return func() {}
+	}
+	start := sp.eng.Now()
+	return func() {
+		h := sp.hists[stage]
+		if h == nil {
+			h = metrics.NewHistogram()
+			sp.hists[stage] = h
+		}
+		h.Record(sp.eng.Now().Sub(start))
+	}
+}
+
+// Stage returns the histogram for a stage (nil if never recorded).
+func (sp *StageProfile) Stage(name string) *metrics.Histogram {
+	if sp == nil {
+		return nil
+	}
+	return sp.hists[name]
+}
+
+// Stages returns the recorded stage names, sorted.
+func (sp *StageProfile) Stages() []string {
+	names := make([]string, 0, len(sp.hists))
+	for n := range sp.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the per-stage latency breakdown.
+func (sp *StageProfile) Table() *metrics.Table {
+	t := metrics.NewTable("I/O lifecycle stage profile",
+		"stage", "ops", "mean", "p50", "p99", "max")
+	for _, name := range sp.Stages() {
+		h := sp.hists[name]
+		t.AddRow(name, h.Count(), h.Mean().String(), h.Median().String(),
+			h.Percentile(99).String(), h.Max().String())
+	}
+	return t
+}
+
+// Stage name constants used by the DeLiBA-K pipeline.
+const (
+	// StageKernel is the full kernel+device round trip of a request: from
+	// the UIFD RBD mapping through DMQ, QDMA, the card pipeline and back.
+	// Subtracting the accelerator and fan-out stages isolates the kernel
+	// overhead itself.
+	StageKernel = "kernel+device round-trip"
+	// StageAccel is the CRUSH placement kernel occupancy.
+	StageAccel = "crush-accelerator"
+	// StageEncode is the RS encoder occupancy (EC writes).
+	StageEncode = "rs-encoder"
+	// StageFanout is the card→OSD network round trip.
+	StageFanout = "network-fanout"
+)

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestStageProfileRecordsPipeline(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	cfg.Jitter = false
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := tb.EnableProfiling()
+	stack, err := tb.NewStack(StackDKHW, true) // EC: exercises the encoder too
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Spawn("io", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := Do(p, stack, Write, Rand, int64(i)*8192, 8192, 0); err != nil {
+				t.Errorf("op %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := Do(p, stack, Read, Rand, int64(i)*8192, 8192, 0); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+		}
+	})
+	tb.Eng.Run()
+	stack.Close()
+
+	for _, stage := range []string{StageKernel, StageAccel, StageEncode, StageFanout} {
+		h := prof.Stage(stage)
+		if h == nil || h.Count() == 0 {
+			t.Fatalf("stage %q not recorded", stage)
+		}
+	}
+	if got := prof.Stage(StageKernel).Count(); got != 15 {
+		t.Fatalf("kernel stage ops = %d, want 15", got)
+	}
+	if got := prof.Stage(StageEncode).Count(); got != 10 {
+		t.Fatalf("encode stage ops = %d, want 10 (writes only)", got)
+	}
+	// Sub-stages fit inside the round trip.
+	if prof.Stage(StageAccel).Mean() >= prof.Stage(StageKernel).Mean() {
+		t.Fatal("accelerator stage not smaller than the round trip")
+	}
+	if prof.Stage(StageFanout).Mean() >= prof.Stage(StageKernel).Mean() {
+		t.Fatal("fanout stage not smaller than the round trip")
+	}
+	// The encoder occupies well under a microsecond per 8 kB op (Table I).
+	if prof.Stage(StageEncode).Mean() > 2*sim.Microsecond {
+		t.Fatalf("encoder stage mean %v too large", prof.Stage(StageEncode).Mean())
+	}
+	out := prof.Table().String()
+	if !strings.Contains(out, StageFanout) {
+		t.Fatalf("table missing stages:\n%s", out)
+	}
+	if len(prof.Stages()) != 4 {
+		t.Fatalf("stages = %v", prof.Stages())
+	}
+}
+
+func TestStageProfileNilSafe(t *testing.T) {
+	var sp *StageProfile
+	end := sp.span("x") // must not panic
+	end()
+	if sp.Stage("x") != nil {
+		t.Fatal("nil profile returned a histogram")
+	}
+}
+
+func TestEnableProfilingIdempotent(t *testing.T) {
+	tb, err := NewTestbed(DefaultTestbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tb.EnableProfiling()
+	b := tb.EnableProfiling()
+	if a != b {
+		t.Fatal("EnableProfiling created a second profile")
+	}
+}

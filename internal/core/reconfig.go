@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/fpga"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// ReconfigPolicy implements the paper's motivation for DFX (§IV-C): "the
+// size of the Ceph storage cluster may fluctuate due to the failure of
+// underlying disks... or the addition of new disks... This variation
+// necessitates time-division multiplexing of the underlying FPGA
+// resources." The policy subscribes to monitor map changes and swaps the
+// reconfigurable partition to the replication accelerator best suited to
+// the current cluster composition:
+//
+//   - Uniform bucket: all in-devices share one weight (homogeneous
+//     hardware),
+//   - List bucket: the cluster is growing (devices recently added),
+//   - Tree bucket: large or weight-heterogeneous clusters.
+type ReconfigPolicy struct {
+	eng   *sim.Engine
+	shell *fpga.Shell
+	mon   *rados.Monitor
+
+	// TreeThreshold is the in-device count above which the tree kernel is
+	// preferred for heterogeneous clusters.
+	TreeThreshold int
+
+	lastIn int
+	// Swaps counts completed reconfigurations; SkippedBusy counts map
+	// changes that arrived while a swap was already streaming.
+	Swaps       uint64
+	SkippedBusy uint64
+	// Current is the policy's last decision.
+	Current fpga.KernelID
+}
+
+// NewReconfigPolicy wires the policy to a monitor and a DFX shell and
+// applies an initial decision.
+func NewReconfigPolicy(eng *sim.Engine, shell *fpga.Shell, mon *rados.Monitor) *ReconfigPolicy {
+	p := &ReconfigPolicy{
+		eng:           eng,
+		shell:         shell,
+		mon:           mon,
+		TreeThreshold: 24,
+	}
+	p.lastIn = p.inCount()
+	mon.Subscribe(func(uint64) { p.react() })
+	p.react()
+	return p
+}
+
+// inCount counts fully or partially in devices.
+func (p *ReconfigPolicy) inCount() int {
+	n := 0
+	for _, w := range p.mon.Reweights() {
+		if w > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Decide returns the kernel the current map calls for.
+func (p *ReconfigPolicy) Decide() fpga.KernelID {
+	rw := p.mon.Reweights()
+	in := 0
+	uniform := true
+	var first uint32
+	for _, w := range rw {
+		if w == 0 {
+			continue
+		}
+		if in == 0 {
+			first = w
+		} else if w != first {
+			uniform = false
+		}
+		in++
+	}
+	growing := in > p.lastIn
+	switch {
+	case uniform && in <= p.TreeThreshold && !growing:
+		return fpga.KUniform
+	case growing:
+		return fpga.KList
+	default:
+		return fpga.KTree
+	}
+}
+
+// react evaluates the map and, if the decision changed, streams the new RM.
+func (p *ReconfigPolicy) react() {
+	want := p.Decide()
+	p.lastIn = p.inCount()
+	if p.Current == want && p.shell.RP != nil && p.shell.RP.Active() != nil {
+		return
+	}
+	p.Current = want
+	if p.shell.RP == nil {
+		return // static build: every kernel is resident
+	}
+	if p.shell.RP.Reconfiguring() {
+		// A swap is in flight; the next map change will re-evaluate.
+		p.SkippedBusy++
+		return
+	}
+	p.shell.RP.Reconfigure(want.String(), func(err error) {
+		if err == nil {
+			p.Swaps++
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+	"repro/internal/sim"
+)
+
+// TestbedConfig shapes one simulated deployment (defaults mirror the
+// paper's industrial-lab testbed: one client, two server nodes with 16 OSDs
+// each, 10 GbE).
+type TestbedConfig struct {
+	Nodes       int
+	OSDsPerNode int
+	// ReplicaSize is the replicated pool's copy count (2 on the two-node
+	// testbed).
+	ReplicaSize int
+	// ECK/ECM is the erasure geometry.
+	ECK, ECM int
+	// PGs is the placement-group count per pool.
+	PGs uint32
+	// ImageBytes is the virtual disk size; ObjectBytes the RBD stripe unit.
+	ImageBytes  int64
+	ObjectBytes int
+	// Functional stores real payload bytes (MemStore + real codec work);
+	// benchmarks leave it false for metadata-only stores.
+	Functional bool
+	// Jitter enables OSD service-time noise (off for exactly reproducible
+	// latency assertions).
+	Jitter bool
+	// CM is the cost model; zero-value fields are filled from
+	// DefaultCostModel.
+	CM *CostModel
+
+	// --- ablation knobs (zero values = the paper's configuration) ------
+
+	// RingInterrupt switches the DeLiBA-K rings from kernel-polled SQPOLL
+	// to interrupt mode with per-batch enter syscalls (ablation ①).
+	RingInterrupt bool
+	// DisableDMQBypass routes DK requests through an mq-deadline
+	// scheduler instead of the DMQ direct-issue path (ablation ②).
+	DisableDMQBypass bool
+	// Instances overrides the io_uring instance count (0 = the paper's 3).
+	Instances int
+}
+
+// DefaultTestbedConfig returns the paper-testbed shape in benchmark mode.
+func DefaultTestbedConfig() TestbedConfig {
+	cm := DefaultCostModel()
+	return TestbedConfig{
+		Nodes:       2,
+		OSDsPerNode: 16,
+		ReplicaSize: 2,
+		ECK:         4,
+		ECM:         2,
+		PGs:         256,
+		ImageBytes:  8 << 30,
+		ObjectBytes: 4 << 20,
+		Functional:  false,
+		Jitter:      true,
+		CM:          &cm,
+	}
+}
+
+// Testbed is one fully wired deployment: engine, fabric, cluster, pools and
+// images. Build exactly one Stack per testbed (stacks own fabric hosts and
+// FPGA state; experiments use a fresh testbed per run for isolation and
+// determinism).
+type Testbed struct {
+	Eng     *sim.Engine
+	Cfg     TestbedConfig
+	CM      CostModel
+	Fabric  *netsim.Fabric
+	Cluster *rados.Cluster
+	// ReplPool/ECPool and their images.
+	ReplPool, ECPool   *rados.Pool
+	ReplImage, ECImage *rbd.Image
+	// Profile, when non-nil (EnableProfiling), receives per-stage latency
+	// histograms from stacks built afterwards.
+	Profile *StageProfile
+}
+
+// NewTestbed builds the cluster side.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.CM == nil {
+		cm := DefaultCostModel()
+		cfg.CM = &cm
+	}
+	eng := sim.NewEngine()
+	fabric := netsim.NewFabric(eng, cfg.CM.Propagation)
+	ccfg := rados.DefaultClusterConfig()
+	ccfg.Nodes = cfg.Nodes
+	ccfg.OSDsPerNode = cfg.OSDsPerNode
+	ccfg.NICBitsPerSec = cfg.CM.NICBitsPerSec
+	ccfg.NodeStack = cfg.CM.HostStack
+	if !cfg.Jitter {
+		ccfg.Profile.JitterFrac = 0
+	}
+	if cfg.Functional {
+		ccfg.NewStore = func() rados.ObjectStore { return rados.NewMemStore() }
+	} else {
+		ccfg.NewStore = func() rados.ObjectStore { return rados.NewNullStore() }
+	}
+	cluster, err := rados.NewCluster(eng, fabric, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	repl, err := cluster.CreateReplicatedPool("rbd", cfg.ReplicaSize, cfg.PGs)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := cluster.CreateECPool("rbd-ec", cfg.ECK, cfg.ECM, cfg.PGs)
+	if err != nil {
+		return nil, err
+	}
+	replImg, err := rbd.NewImage("vol0", cfg.ImageBytes, cfg.ObjectBytes, repl)
+	if err != nil {
+		return nil, err
+	}
+	ecImg, err := rbd.NewImage("vol0ec", cfg.ImageBytes, cfg.ObjectBytes, ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{
+		Eng:       eng,
+		Cfg:       cfg,
+		CM:        *cfg.CM,
+		Fabric:    fabric,
+		Cluster:   cluster,
+		ReplPool:  repl,
+		ECPool:    ec,
+		ReplImage: replImg,
+		ECImage:   ecImg,
+	}, nil
+}
+
+// StackKind names the buildable framework variants.
+type StackKind int
+
+const (
+	// StackDKHW is hardware-accelerated DeLiBA-K (the paper's D3).
+	StackDKHW StackKind = iota
+	// StackD2HW is hardware-accelerated DeLiBA-2.
+	StackD2HW
+	// StackD1HW is hardware-accelerated DeLiBA-1 (replication only).
+	StackD1HW
+	// StackDKSW is the DeLiBA-K software baseline (io_uring + kernel DMQ
+	// + RBD, no FPGA).
+	StackDKSW
+	// StackD2SW is the DeLiBA-2 software baseline (NBD + user-space
+	// libraries, no FPGA).
+	StackD2SW
+)
+
+func (k StackKind) String() string {
+	switch k {
+	case StackDKHW:
+		return "deliba-k-hw"
+	case StackD2HW:
+		return "deliba-2-hw"
+	case StackD1HW:
+		return "deliba-1-hw"
+	case StackDKSW:
+		return "deliba-k-sw"
+	case StackD2SW:
+		return "deliba-2-sw"
+	default:
+		return fmt.Sprintf("stack(%d)", int(k))
+	}
+}
+
+// poolAndImage selects the pool/image pair for the mode.
+func (tb *Testbed) poolAndImage(ec bool) (*rados.Pool, *rbd.Image) {
+	if ec {
+		return tb.ECPool, tb.ECImage
+	}
+	return tb.ReplPool, tb.ReplImage
+}
+
+// NewStack constructs a framework stack over this testbed. ec selects the
+// erasure-coded pool instead of the replicated one.
+func (tb *Testbed) NewStack(kind StackKind, ec bool) (Stack, error) {
+	switch kind {
+	case StackDKHW:
+		return newDKHWStack(tb, ec)
+	case StackD2HW:
+		return newD2HWStack(tb, ec)
+	case StackD1HW:
+		if ec {
+			return nil, errNoECInD1
+		}
+		return newD1HWStack(tb)
+	case StackDKSW:
+		return newDKSWStack(tb, ec)
+	case StackD2SW:
+		return newD2SWStack(tb, ec)
+	default:
+		return nil, fmt.Errorf("core: unknown stack kind %v", kind)
+	}
+}

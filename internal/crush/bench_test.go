@@ -1,0 +1,51 @@
+package crush
+
+import "testing"
+
+// Benchmarks for the placement kernels, mirroring Table I's software
+// profiling: one Select per op over the testbed-shaped 32-OSD map.
+
+func benchSelect(b *testing.B, alg Alg) {
+	m, _, err := BuildCluster(ClusterSpec{Hosts: 2, OSDsPerHost: 16, HostAlg: alg, RootAlg: alg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule := m.Rule("replicated_rule")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Select(rule, uint32(i), 2, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectUniform(b *testing.B) { benchSelect(b, UniformAlg) }
+func BenchmarkSelectList(b *testing.B)    { benchSelect(b, ListAlg) }
+func BenchmarkSelectTree(b *testing.B)    { benchSelect(b, TreeAlg) }
+func BenchmarkSelectStraw(b *testing.B)   { benchSelect(b, StrawAlg) }
+func BenchmarkSelectStraw2(b *testing.B)  { benchSelect(b, Straw2Alg) }
+
+func BenchmarkHash3(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash3(uint32(i), 7, 9)
+	}
+	_ = sink
+}
+
+func BenchmarkBucketChooseStraw2(b *testing.B) {
+	items := make([]int, 16)
+	weights := make([]uint32, 16)
+	for i := range items {
+		items[i] = i
+		weights[i] = WeightOne
+	}
+	bk, err := NewBucket(-1, 1, Straw2Alg, items, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Choose(uint32(i), 0)
+	}
+}

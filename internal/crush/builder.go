@@ -1,0 +1,120 @@
+package crush
+
+import "fmt"
+
+// Hierarchy levels used by the builder (matching common Ceph deployments).
+const (
+	TypeOSD  = 0
+	TypeHost = 1
+	TypeRack = 2
+	TypeRoot = 3
+)
+
+// ClusterSpec describes a regular two-level cluster: Hosts hosts, each with
+// OSDsPerHost devices of equal weight. It matches the paper's testbed shape
+// (2 remote servers × 16 OSDs = 32 OSDs).
+type ClusterSpec struct {
+	Hosts       int
+	OSDsPerHost int
+	// DeviceWeight is the fixed-point weight per OSD; 0 means WeightOne.
+	DeviceWeight uint32
+	// HostAlg and RootAlg select bucket algorithms (default Straw2Alg).
+	HostAlg Alg
+	RootAlg Alg
+}
+
+// BuildCluster constructs a Map for the spec plus the standard replicated
+// and erasure rules ("replicated_rule", "ec_rule", failure domain = host).
+// It returns the map and the root bucket id.
+func BuildCluster(spec ClusterSpec) (*Map, int, error) {
+	if spec.Hosts <= 0 || spec.OSDsPerHost <= 0 {
+		return nil, 0, fmt.Errorf("crush: bad cluster spec %+v", spec)
+	}
+	if spec.DeviceWeight == 0 {
+		spec.DeviceWeight = WeightOne
+	}
+	if spec.HostAlg == 0 {
+		spec.HostAlg = Straw2Alg
+	}
+	if spec.RootAlg == 0 {
+		spec.RootAlg = Straw2Alg
+	}
+	m := NewMap()
+	m.DefineType(TypeHost, "host")
+	m.DefineType(TypeRack, "rack")
+	m.DefineType(TypeRoot, "root")
+
+	hostIDs := make([]int, spec.Hosts)
+	hostWeights := make([]uint32, spec.Hosts)
+	osd := 0
+	for h := 0; h < spec.Hosts; h++ {
+		items := make([]int, spec.OSDsPerHost)
+		weights := make([]uint32, spec.OSDsPerHost)
+		for i := range items {
+			items[i] = osd
+			weights[i] = spec.DeviceWeight
+			osd++
+		}
+		id := m.NewBucketID()
+		b, err := NewBucket(id, TypeHost, spec.HostAlg, items, weights)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := m.AddBucket(b); err != nil {
+			return nil, 0, err
+		}
+		m.SetBucketName(id, fmt.Sprintf("host%d", h))
+		hostIDs[h] = id
+		hostWeights[h] = b.Weight()
+	}
+	rootID := m.NewBucketID()
+	root, err := NewBucket(rootID, TypeRoot, spec.RootAlg, hostIDs, hostWeights)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.AddBucket(root); err != nil {
+		return nil, 0, err
+	}
+	m.SetBucketName(rootID, "default")
+	m.AddRule(ReplicatedRule("replicated_rule", rootID, TypeHost))
+	m.AddRule(ErasureRule("ec_rule", rootID, TypeHost))
+	return m, rootID, nil
+}
+
+// FlatCluster builds a single-bucket map of n equally weighted devices under
+// one root of the given alg, with rules choosing devices directly. Used by
+// the bucket-kernel microbenchmarks (Table I) where the hierarchy is not
+// under test.
+func FlatCluster(n int, alg Alg) (*Map, int, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("crush: bad device count %d", n)
+	}
+	m := NewMap()
+	m.DefineType(TypeRoot, "root")
+	items := make([]int, n)
+	weights := make([]uint32, n)
+	for i := range items {
+		items[i] = i
+		weights[i] = WeightOne
+	}
+	rootID := m.NewBucketID()
+	b, err := NewBucket(rootID, TypeRoot, alg, items, weights)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.AddBucket(b); err != nil {
+		return nil, 0, err
+	}
+	m.SetBucketName(rootID, "default")
+	m.AddRule(&Rule{Name: "flat", Steps: []Step{
+		{Op: OpTake, Arg1: rootID},
+		{Op: OpChooseFirstN, Arg1: 0, Arg2: TypeOSD},
+		{Op: OpEmit},
+	}})
+	m.AddRule(&Rule{Name: "flat_indep", Steps: []Step{
+		{Op: OpTake, Arg1: rootID},
+		{Op: OpChooseIndep, Arg1: 0, Arg2: TypeOSD},
+		{Op: OpEmit},
+	}})
+	return m, rootID, nil
+}

@@ -1,0 +1,363 @@
+package crush
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text (de)serialization of CRUSH maps, in the spirit of `crushtool
+// --decompile`: types, devices, buckets with named items and decimal
+// weights, tunables, and rules. Encode followed by Decode reproduces an
+// equivalent map (same placements for every input).
+
+// EncodeText writes the map in the text format.
+func (m *Map) EncodeText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "# begin crush map\n")
+	fmt.Fprintf(bw, "tunable choose_total_tries %d\n", m.Tunables.ChooseTotalTries)
+	fmt.Fprintf(bw, "tunable choose_local_tries %d\n", m.Tunables.ChooseLocalTries)
+	fmt.Fprintf(bw, "tunable chooseleaf_vary_r %d\n", boolInt(m.Tunables.ChooseleafVaryR))
+	fmt.Fprintf(bw, "tunable chooseleaf_stable %d\n", boolInt(m.Tunables.ChooseleafStable))
+
+	fmt.Fprintf(bw, "\n# devices\n")
+	for d := 0; d < m.maxDev; d++ {
+		fmt.Fprintf(bw, "device %d osd.%d\n", d, d)
+	}
+
+	fmt.Fprintf(bw, "\n# types\n")
+	for _, id := range m.Types() {
+		fmt.Fprintf(bw, "type %d %s\n", id, m.TypeName(id))
+	}
+
+	fmt.Fprintf(bw, "\n# buckets\n")
+	// Children before parents so Decode can resolve names.
+	for _, id := range m.bucketsBottomUp() {
+		b := m.buckets[id]
+		fmt.Fprintf(bw, "%s %s {\n", m.TypeName(b.Type), m.BucketName(id))
+		fmt.Fprintf(bw, "\tid %d\n", id)
+		fmt.Fprintf(bw, "\talg %s\n", b.Alg)
+		for i, it := range b.Items {
+			name := ""
+			if it >= 0 {
+				name = fmt.Sprintf("osd.%d", it)
+			} else {
+				name = m.BucketName(it)
+			}
+			fmt.Fprintf(bw, "\titem %s weight %.3f\n", name,
+				float64(b.ItemWeight(i))/float64(WeightOne))
+		}
+		fmt.Fprintf(bw, "}\n")
+	}
+
+	fmt.Fprintf(bw, "\n# rules\n")
+	for _, name := range m.Rules() {
+		r := m.rules[name]
+		fmt.Fprintf(bw, "rule %s {\n", name)
+		for _, st := range r.Steps {
+			switch st.Op {
+			case OpTake:
+				fmt.Fprintf(bw, "\tstep take %s\n", m.BucketName(st.Arg1))
+			case OpChooseFirstN:
+				fmt.Fprintf(bw, "\tstep choose firstn %d type %s\n", st.Arg1, m.TypeName(st.Arg2))
+			case OpChooseIndep:
+				fmt.Fprintf(bw, "\tstep choose indep %d type %s\n", st.Arg1, m.TypeName(st.Arg2))
+			case OpChooseleafFirstN:
+				fmt.Fprintf(bw, "\tstep chooseleaf firstn %d type %s\n", st.Arg1, m.TypeName(st.Arg2))
+			case OpChooseleafIndep:
+				fmt.Fprintf(bw, "\tstep chooseleaf indep %d type %s\n", st.Arg1, m.TypeName(st.Arg2))
+			case OpEmit:
+				fmt.Fprintf(bw, "\tstep emit\n")
+			}
+		}
+		fmt.Fprintf(bw, "}\n")
+	}
+	fmt.Fprintf(bw, "# end crush map\n")
+	return bw.Flush()
+}
+
+// EncodeTextString renders the map to a string.
+func (m *Map) EncodeTextString() string {
+	var sb strings.Builder
+	m.EncodeText(&sb)
+	return sb.String()
+}
+
+// bucketsBottomUp orders bucket ids children-first.
+func (m *Map) bucketsBottomUp() []int {
+	visited := make(map[int]bool)
+	var order []int
+	var visit func(id int)
+	visit = func(id int) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		b := m.buckets[id]
+		if b == nil {
+			return
+		}
+		for _, it := range b.Items {
+			if it < 0 {
+				visit(it)
+			}
+		}
+		order = append(order, id)
+	}
+	ids := m.Buckets()
+	sort.Ints(ids) // deterministic entry order
+	for _, id := range ids {
+		visit(id)
+	}
+	return order
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var algNames = map[string]Alg{
+	"uniform": UniformAlg,
+	"list":    ListAlg,
+	"tree":    TreeAlg,
+	"straw":   StrawAlg,
+	"straw2":  Straw2Alg,
+}
+
+// DecodeText parses a map in the text format.
+func DecodeText(r io.Reader) (*Map, error) {
+	m := NewMap()
+	typeByName := map[string]int{"osd": 0}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var lines []string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	i := 0
+	syntax := func(f string, args ...any) error {
+		return fmt.Errorf("crush: text parse: %s (near %q)", fmt.Sprintf(f, args...), lines[min(i, len(lines)-1)])
+	}
+	for i < len(lines) {
+		fields := strings.Fields(lines[i])
+		switch fields[0] {
+		case "tunable":
+			if len(fields) != 3 {
+				return nil, syntax("bad tunable")
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, syntax("bad tunable value")
+			}
+			switch fields[1] {
+			case "choose_total_tries":
+				m.Tunables.ChooseTotalTries = v
+			case "choose_local_tries":
+				m.Tunables.ChooseLocalTries = v
+			case "chooseleaf_vary_r":
+				m.Tunables.ChooseleafVaryR = v != 0
+			case "chooseleaf_stable":
+				m.Tunables.ChooseleafStable = v != 0
+			}
+			i++
+		case "device":
+			if len(fields) < 2 {
+				return nil, syntax("bad device")
+			}
+			d, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, syntax("bad device id")
+			}
+			m.NoteDevice(d)
+			i++
+		case "type":
+			if len(fields) != 3 {
+				return nil, syntax("bad type")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, syntax("bad type id")
+			}
+			m.DefineType(id, fields[2])
+			typeByName[fields[2]] = id
+			i++
+		case "rule":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, syntax("bad rule header")
+			}
+			name := fields[1]
+			i++
+			rule := &Rule{Name: name}
+			for i < len(lines) && lines[i] != "}" {
+				sf := strings.Fields(lines[i])
+				if sf[0] != "step" {
+					return nil, syntax("expected step")
+				}
+				st, err := parseStep(m, typeByName, sf[1:])
+				if err != nil {
+					return nil, err
+				}
+				rule.Steps = append(rule.Steps, st)
+				i++
+			}
+			if i >= len(lines) {
+				return nil, syntax("unterminated rule")
+			}
+			i++ // consume "}"
+			m.AddRule(rule)
+		default:
+			// A bucket block: "<typename> <name> {".
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, syntax("unknown statement")
+			}
+			typeID, ok := typeByName[fields[0]]
+			if !ok {
+				return nil, syntax("unknown bucket type %q", fields[0])
+			}
+			name := fields[1]
+			i++
+			var id int
+			alg := Straw2Alg
+			var items []int
+			var weights []uint32
+			for i < len(lines) && lines[i] != "}" {
+				bf := strings.Fields(lines[i])
+				switch bf[0] {
+				case "id":
+					v, err := strconv.Atoi(bf[1])
+					if err != nil {
+						return nil, syntax("bad bucket id")
+					}
+					id = v
+				case "alg":
+					a, ok := algNames[bf[1]]
+					if !ok {
+						return nil, syntax("unknown alg %q", bf[1])
+					}
+					alg = a
+				case "item":
+					if len(bf) != 4 || bf[2] != "weight" {
+						return nil, syntax("bad item line")
+					}
+					var item int
+					if strings.HasPrefix(bf[1], "osd.") {
+						v, err := strconv.Atoi(strings.TrimPrefix(bf[1], "osd."))
+						if err != nil {
+							return nil, syntax("bad osd item")
+						}
+						item = v
+					} else {
+						cid, ok := m.BucketByName(bf[1])
+						if !ok {
+							return nil, syntax("unknown item %q", bf[1])
+						}
+						item = cid
+					}
+					wf, err := strconv.ParseFloat(bf[3], 64)
+					if err != nil {
+						return nil, syntax("bad weight")
+					}
+					items = append(items, item)
+					weights = append(weights, uint32(wf*float64(WeightOne)+0.5))
+				default:
+					return nil, syntax("unknown bucket field %q", bf[0])
+				}
+				i++
+			}
+			if i >= len(lines) {
+				return nil, syntax("unterminated bucket")
+			}
+			i++ // consume "}"
+			b, err := NewBucket(id, typeID, alg, items, weights)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddBucket(b); err != nil {
+				return nil, err
+			}
+			m.SetBucketName(id, name)
+		}
+	}
+	return m, nil
+}
+
+// DecodeTextString parses a map from a string.
+func DecodeTextString(s string) (*Map, error) {
+	return DecodeText(strings.NewReader(s))
+}
+
+func parseStep(m *Map, typeByName map[string]int, f []string) (Step, error) {
+	bad := func(msg string) (Step, error) {
+		return Step{}, fmt.Errorf("crush: text parse: %s in step %q", msg, strings.Join(f, " "))
+	}
+	if len(f) == 0 {
+		return bad("empty")
+	}
+	switch f[0] {
+	case "emit":
+		return Step{Op: OpEmit}, nil
+	case "take":
+		if len(f) != 2 {
+			return bad("take needs a bucket")
+		}
+		id, ok := m.BucketByName(f[1])
+		if !ok {
+			return bad("unknown bucket")
+		}
+		return Step{Op: OpTake, Arg1: id}, nil
+	case "choose", "chooseleaf":
+		// choose firstn N type T
+		if len(f) != 5 || f[3] != "type" {
+			return bad("malformed choose")
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil {
+			return bad("bad count")
+		}
+		typ, ok := typeByName[f[4]]
+		if !ok {
+			return bad("unknown type")
+		}
+		var op StepOp
+		switch {
+		case f[0] == "choose" && f[1] == "firstn":
+			op = OpChooseFirstN
+		case f[0] == "choose" && f[1] == "indep":
+			op = OpChooseIndep
+		case f[0] == "chooseleaf" && f[1] == "firstn":
+			op = OpChooseleafFirstN
+		case f[0] == "chooseleaf" && f[1] == "indep":
+			op = OpChooseleafIndep
+		default:
+			return bad("unknown choose mode")
+		}
+		return Step{Op: op, Arg1: n, Arg2: typ}, nil
+	default:
+		return bad("unknown op")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package crush
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripPlacementEquivalence(t *testing.T) {
+	m1, _, err := BuildCluster(ClusterSpec{Hosts: 4, OSDsPerHost: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m1.EncodeTextString()
+	m2, err := DecodeTextString(text)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, text)
+	}
+	if m2.MaxDevices() != m1.MaxDevices() {
+		t.Fatalf("devices %d vs %d", m2.MaxDevices(), m1.MaxDevices())
+	}
+	r1 := m1.Rule("replicated_rule")
+	r2 := m2.Rule("replicated_rule")
+	if r2 == nil {
+		t.Fatal("rule lost in round trip")
+	}
+	for x := uint32(0); x < 3000; x++ {
+		a, err1 := m1.Select(r1, x, 3, nil)
+		b, err2 := m2.Select(r2, x, 3, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("select: %v %v", err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("x=%d: %v vs %v", x, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("x=%d: placements diverge: %v vs %v", x, a, b)
+			}
+		}
+	}
+	// EC rule too.
+	e1, e2 := m1.Rule("ec_rule"), m2.Rule("ec_rule")
+	for x := uint32(0); x < 500; x++ {
+		a, _ := m1.Select(e1, x, 6, nil)
+		b, _ := m2.Select(e2, x, 6, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ec x=%d: %v vs %v", x, a, b)
+			}
+		}
+	}
+}
+
+func TestTextFormatContents(t *testing.T) {
+	m, _, _ := BuildCluster(ClusterSpec{Hosts: 2, OSDsPerHost: 2})
+	text := m.EncodeTextString()
+	for _, want := range []string{
+		"tunable choose_total_tries 50",
+		"device 0 osd.0",
+		"type 1 host",
+		"host host0 {",
+		"root default {",
+		"alg straw2",
+		"item osd.0 weight 1.000",
+		"item host0 weight 2.000",
+		"rule replicated_rule {",
+		"step take default",
+		"step chooseleaf firstn 0 type host",
+		"step emit",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestTextRoundTripTunables(t *testing.T) {
+	m, _, _ := FlatCluster(4, StrawAlg)
+	m.Tunables = LegacyTunables()
+	m2, err := DecodeTextString(m.EncodeTextString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Tunables != m.Tunables {
+		t.Fatalf("tunables %+v vs %+v", m2.Tunables, m.Tunables)
+	}
+	b := m2.Bucket(-1)
+	if b == nil || b.Alg != StrawAlg {
+		t.Fatalf("alg lost: %+v", b)
+	}
+}
+
+func TestTextRoundTripAllAlgs(t *testing.T) {
+	for _, alg := range []Alg{UniformAlg, ListAlg, TreeAlg, StrawAlg, Straw2Alg} {
+		m1, _, err := FlatCluster(6, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := DecodeTextString(m1.EncodeTextString())
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		r1, r2 := m1.Rule("flat"), m2.Rule("flat")
+		for x := uint32(0); x < 500; x++ {
+			a, _ := m1.Select(r1, x, 2, nil)
+			b, _ := m2.Select(r2, x, 2, nil)
+			if len(a) != len(b) {
+				t.Fatalf("%v x=%d: %v vs %v", alg, x, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v x=%d: %v vs %v", alg, x, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"tunable bogus",
+		"type x osd",
+		"rule r {\nstep take nowhere\n}",
+		"host h {\nid -1\nalg nope\n}",
+		"host h {\nid -1\nitem osd.x weight 1.0\n}",
+		"host h {\nid -1\nitem osd.0 weight 1.0",         // unterminated
+		"rule r {\nstep choose firstn 0 type missing\n}", // unknown type
+		"widget w {\nid -1\n}",                           // unknown bucket type
+		"garbage line here and more",
+	}
+	for _, c := range cases {
+		if _, err := DecodeTextString(c); err == nil {
+			t.Errorf("decode accepted %q", c)
+		}
+	}
+}
+
+func TestBucketNameHelpers(t *testing.T) {
+	m := NewMap()
+	if m.BucketName(-7) != "bucket7" {
+		t.Fatalf("synth name = %q", m.BucketName(-7))
+	}
+	m.SetBucketName(-7, "rack-a")
+	if m.BucketName(-7) != "rack-a" {
+		t.Fatal("set name lost")
+	}
+	id, ok := m.BucketByName("rack-a")
+	if !ok || id != -7 {
+		t.Fatalf("lookup = %d, %v", id, ok)
+	}
+	if _, ok := m.BucketByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/fpga"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// AblationResult compares one design knob on/off.
+type AblationResult struct {
+	Name     string
+	Baseline string
+	Variant  string
+	// BaselineKIOPS/VariantKIOPS at the 4 kB random-write point.
+	BaselineKIOPS float64
+	VariantKIOPS  float64
+	BaselineLat   sim.Duration
+	VariantLat    sim.Duration
+}
+
+// Gain returns baseline/variant KIOPS (how much the paper's choice wins).
+func (a *AblationResult) Gain() float64 {
+	if a.VariantKIOPS == 0 {
+		return 0
+	}
+	return a.BaselineKIOPS / a.VariantKIOPS
+}
+
+// Table renders the ablation.
+func (a *AblationResult) Table() *metrics.Table {
+	t := metrics.NewTable(fmt.Sprintf("Ablation — %s", a.Name),
+		"configuration", "KIOPS (4kB rand-write)", "mean latency")
+	t.AddRow(a.Baseline, a.BaselineKIOPS, a.BaselineLat.String())
+	t.AddRow(a.Variant, a.VariantKIOPS, a.VariantLat.String())
+	return t
+}
+
+// runDKVariant measures DK-HW with a mutated testbed config: throughput
+// under the loaded configuration, and latency at queue depth 1 (where the
+// per-op mechanism under ablation is visible rather than hidden by
+// queueing).
+func runDKVariant(cfg Config, mutate func(*core.TestbedConfig)) (kiops float64, lat sim.Duration, err error) {
+	run := func(qd, jobs, ops int) (*fio.Result, error) {
+		tcfg := core.DefaultTestbedConfig()
+		tcfg.Jitter = false
+		if mutate != nil {
+			mutate(&tcfg)
+		}
+		tb, err := core.NewTestbed(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		stack, err := tb.NewStack(core.StackDKHW, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fio.Run(tb.Eng, stack, fio.JobSpec{
+			Name: "ablation", ReadPct: 0, Pattern: core.Rand,
+			BlockSize: 4096, QueueDepth: qd, Jobs: jobs,
+			Ops: ops, RampOps: ops / 10, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Errors > 0 {
+			return nil, fmt.Errorf("experiments: ablation run had %d errors", res.Errors)
+		}
+		return res, nil
+	}
+	loaded, err := run(cfg.QueueDepth, cfg.Jobs, cfg.Ops)
+	if err != nil {
+		return 0, 0, err
+	}
+	qd1, err := run(1, 1, cfg.LatOps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return loaded.KIOPS(), qd1.Lat.Mean(), nil
+}
+
+// AblationSQPoll isolates optimization ①: kernel-polled rings versus
+// interrupt-driven rings with enter syscalls.
+func AblationSQPoll(cfg Config) (*AblationResult, error) {
+	a := &AblationResult{
+		Name:     "io_uring kernel-polled mode (optimization ①)",
+		Baseline: "SQPOLL (DeLiBA-K)",
+		Variant:  "interrupt + enter syscalls",
+	}
+	var err error
+	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
+		return nil, err
+	}
+	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
+		t.RingInterrupt = true
+	}); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AblationSchedulerBypass isolates optimization ②: the DMQ direct-issue
+// path versus a conventional mq-deadline elevator.
+func AblationSchedulerBypass(cfg Config) (*AblationResult, error) {
+	a := &AblationResult{
+		Name:     "DMQ scheduler bypass (optimization ②)",
+		Baseline: "bypass (DeLiBA-K)",
+		Variant:  "mq-deadline elevator",
+	}
+	var err error
+	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
+		return nil, err
+	}
+	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
+		t.DisableDMQBypass = true
+	}); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AblationInstances isolates the multi-instance design: 3 pinned io_uring
+// instances versus a single shared one.
+func AblationInstances(cfg Config) (*AblationResult, error) {
+	a := &AblationResult{
+		Name:     "multiple per-core io_uring instances",
+		Baseline: "3 instances (DeLiBA-K)",
+		Variant:  "1 instance",
+	}
+	var err error
+	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
+		return nil, err
+	}
+	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
+		t.Instances = 1
+	}); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DFXResult quantifies optimization ⑤: adapting the replication
+// accelerator to a changed cluster without a full reprogram.
+type DFXResult struct {
+	// SwapTimes per RM through MCAP.
+	SwapTimes map[string]sim.Duration
+	// FullReloadTime is the static alternative: full bitstream plus the
+	// storage-server power cycle the paper says it requires.
+	FullReloadTime sim.Duration
+	// Reconfigs actually performed in the live-swap exercise.
+	Reconfigs uint64
+}
+
+// fullBitstreamBytes approximates a U280 full configuration image.
+const fullBitstreamBytes = 92 * 1000 * 1000
+
+// powerCycleTime is the storage-server reboot the static flow needs.
+const powerCycleTime = 90 * sim.Second
+
+// DFX exercises live reconfiguration between the three replication RMs
+// while the static region stays up, and contrasts with the full-reload
+// alternative.
+func DFX() (*DFXResult, error) {
+	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	if err != nil {
+		return nil, err
+	}
+	shell, err := fpga.BuildShell(tb.Eng, fpga.ShellConfig{
+		Map:  tb.Cluster.Map,
+		Rule: tb.Cluster.Map.Rule("replicated_osd"),
+		Code: tb.ECPool.Code,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DFXResult{SwapTimes: make(map[string]sim.Duration)}
+	for _, rm := range shell.RP.RMs() {
+		d, err := shell.RP.ReconfigDuration(rm)
+		if err != nil {
+			return nil, err
+		}
+		res.SwapTimes[rm] = d
+	}
+	// Live swap exercise: uniform → list → tree, as a cluster shrinks and
+	// grows.
+	var swapErr error
+	tb.Eng.Spawn("resize", func(p *sim.Proc) {
+		for _, k := range []fpga.KernelID{fpga.KUniform, fpga.KList, fpga.KTree} {
+			if err := shell.LoadDynKernel(p, k); err != nil {
+				swapErr = err
+				return
+			}
+			// The static Straw2 kernel keeps serving while swapping.
+			if _, err := shell.Straw2.SelectWait(p, 1, 2); err != nil {
+				swapErr = err
+				return
+			}
+		}
+	})
+	tb.Eng.Run()
+	if swapErr != nil {
+		return nil, swapErr
+	}
+	res.Reconfigs = shell.RP.Reconfigs()
+	res.FullReloadTime = sim.Duration(float64(fullBitstreamBytes)/fpga.MCAPBytesPerSec*1e9) + powerCycleTime
+	return res, nil
+}
+
+// Table renders the DFX comparison.
+func (d *DFXResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation — DFX partial reconfiguration (optimization ⑤)",
+		"action", "downtime of dynamic region", "static region")
+	for _, rm := range []string{"list", "tree", "uniform"} {
+		if d, ok := d.SwapTimes[rm]; ok {
+			t.AddRow("swap RM to "+rm, d.String(), "keeps serving")
+		}
+	}
+	t.AddRow("full bitstream + power cycle", d.FullReloadTime.String(), "down")
+	return t
+}
+
+// MTURow compares standard-Ethernet and jumbo framing through the RTL TCP
+// pipeline (the paper's configurable 1518-9018 byte packet length, §IV-B).
+type MTURow struct {
+	Bytes        int
+	SegsStd      int
+	SegsJumbo    int
+	PipeStd      sim.Duration
+	PipeJumbo    sim.Duration
+	JumboSpeedup float64
+}
+
+// MTU computes the framing ablation analytically from the hardware TCP
+// model.
+func MTU() ([]MTURow, error) {
+	eng := sim.NewEngine()
+	std, err := fpga.NewTCPStack(eng, fpga.DefaultTCPConfig())
+	if err != nil {
+		return nil, err
+	}
+	jcfg := fpga.DefaultTCPConfig()
+	jcfg.MTU = fpga.MaxPacketJumbo
+	jumbo, err := fpga.NewTCPStack(eng, jcfg)
+	if err != nil {
+		return nil, err
+	}
+	pipeTime := func(st *fpga.TCPStack, n int) sim.Duration {
+		cfg := fpga.DefaultTCPConfig()
+		cycles := st.Segments(n) * cfg.CyclesPerSegment
+		return sim.Duration(float64(cycles) / cfg.ClockHz * 1e9)
+	}
+	var rows []MTURow
+	for _, n := range []int{4096, 65536, 131072, 524288} {
+		r := MTURow{
+			Bytes:     n,
+			SegsStd:   std.Segments(n),
+			SegsJumbo: jumbo.Segments(n),
+			PipeStd:   pipeTime(std, n),
+			PipeJumbo: pipeTime(jumbo, n),
+		}
+		r.JumboSpeedup = float64(r.PipeStd) / float64(r.PipeJumbo)
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// MTUTable renders the framing comparison.
+func MTUTable(rows []MTURow) *metrics.Table {
+	t := metrics.NewTable(
+		"Ablation — packet length: standard (1518) vs jumbo (9018) framing",
+		"message", "segments std", "segments jumbo", "TX pipe std", "TX pipe jumbo", "jumbo gain")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%dkB", r.Bytes/1024),
+			r.SegsStd, r.SegsJumbo,
+			r.PipeStd.String(), r.PipeJumbo.String(),
+			fmt.Sprintf("%.2fx", r.JumboSpeedup))
+	}
+	return t
+}

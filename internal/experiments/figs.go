@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// SWBaselineResult reproduces Fig. 3 (replication) or Fig. 4 (EC): latency
+// and throughput of 4 kB and 128 kB I/Os on the DeLiBA-K software baseline
+// versus the DeLiBA-2 software baseline.
+type SWBaselineResult struct {
+	EC      bool
+	Latency []Point // QD1 per workload/bs/stack
+	Rate    []Point // throughput per workload/bs/stack
+}
+
+// swBaselineBlockSizes are the two sizes the figures show.
+var swBaselineBlockSizes = []int{4096, 131072}
+
+// SoftwareBaseline runs the Fig. 3 / Fig. 4 grid.
+func SoftwareBaseline(cfg Config, ec bool) (*SWBaselineResult, error) {
+	res := &SWBaselineResult{EC: ec}
+	for _, kind := range []core.StackKind{core.StackD2SW, core.StackDKSW} {
+		for _, wl := range StdWorkloads {
+			for _, bs := range swBaselineBlockSizes {
+				lp, err := runLatency(cfg, kind, ec, wl, bs)
+				if err != nil {
+					return nil, err
+				}
+				res.Latency = append(res.Latency, lp)
+				tp, err := runPoint(cfg, kind, ec, wl, bs, cfg.QueueDepth, cfg.Ops)
+				if err != nil {
+					return nil, err
+				}
+				res.Rate = append(res.Rate, tp)
+			}
+		}
+	}
+	return res, nil
+}
+
+// LatencyOf returns the measured QD1 mean latency for a cell.
+func (r *SWBaselineResult) LatencyOf(kind core.StackKind, wl string, bs int) (sim.Duration, bool) {
+	p, ok := findPoint(r.Latency, kind, wl, bs)
+	return p.Mean, ok
+}
+
+// Fig3 runs the replication-mode software baseline.
+func Fig3(cfg Config) (*SWBaselineResult, error) { return SoftwareBaseline(cfg, false) }
+
+// Fig4 runs the erasure-coding-mode software baseline.
+func Fig4(cfg Config) (*SWBaselineResult, error) { return SoftwareBaseline(cfg, true) }
+
+// Tables renders the result like the paper's subfigures (a: latency,
+// b: throughput).
+func (r *SWBaselineResult) Tables() []*metrics.Table {
+	mode := "Replication"
+	fig := "Fig 3"
+	if r.EC {
+		mode = "Erasure Coding"
+		fig = "Fig 4"
+	}
+	lat := metrics.NewTable(
+		fmt.Sprintf("%sa — SW baseline (%s): mean latency [µs]", fig, mode),
+		"workload", "bs", "D2-SW", "DK-SW", "improvement")
+	rate := metrics.NewTable(
+		fmt.Sprintf("%sb — SW baseline (%s): throughput [MB/s]", fig, mode),
+		"workload", "bs", "D2-SW", "DK-SW", "speedup")
+	for _, wl := range StdWorkloads {
+		for _, bs := range swBaselineBlockSizes {
+			l2, _ := findPoint(r.Latency, core.StackD2SW, wl.Name, bs)
+			lk, _ := findPoint(r.Latency, core.StackDKSW, wl.Name, bs)
+			lat.AddRow(wl.Name, bsLabel(bs), us(l2.Mean), us(lk.Mean),
+				fmt.Sprintf("%.2fx", float64(l2.Mean)/float64(lk.Mean)))
+			t2, _ := findPoint(r.Rate, core.StackD2SW, wl.Name, bs)
+			tk, _ := findPoint(r.Rate, core.StackDKSW, wl.Name, bs)
+			rate.AddRow(wl.Name, bsLabel(bs), t2.MBps, tk.MBps,
+				fmt.Sprintf("%.2fx", tk.MBps/t2.MBps))
+		}
+	}
+	return []*metrics.Table{lat, rate}
+}
+
+func bsLabel(bs int) string {
+	if bs >= 1024 {
+		return fmt.Sprintf("%dkB", bs/1024)
+	}
+	return fmt.Sprintf("%dB", bs)
+}
+
+// HWSweepResult backs Fig. 6/7 (replication) and Fig. 8/9 (EC): the
+// block-size sweep of hardware-accelerated stacks.
+type HWSweepResult struct {
+	EC     bool
+	Stacks []core.StackKind
+	Points []Point
+}
+
+// HWSweep runs the hardware sweep. Replication compares D1/D2/DK; EC
+// compares D2/DK only (DeLiBA-1 had no erasure accelerators).
+func HWSweep(cfg Config, ec bool) (*HWSweepResult, error) {
+	stacks := []core.StackKind{core.StackD1HW, core.StackD2HW, core.StackDKHW}
+	if ec {
+		stacks = []core.StackKind{core.StackD2HW, core.StackDKHW}
+	}
+	res := &HWSweepResult{EC: ec, Stacks: stacks}
+	for _, kind := range stacks {
+		for _, wl := range StdWorkloads {
+			for _, bs := range BlockSizes {
+				p, err := runPoint(cfg, kind, ec, wl, bs, cfg.QueueDepth, cfg.Ops)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig6and7 runs the replication hardware sweep (one sweep backs both the
+// throughput and the KIOPS figure).
+func Fig6and7(cfg Config) (*HWSweepResult, error) { return HWSweep(cfg, false) }
+
+// Fig8and9 runs the EC hardware sweep.
+func Fig8and9(cfg Config) (*HWSweepResult, error) { return HWSweep(cfg, true) }
+
+// stackLabel maps kinds to the paper's D1/D2/D3 bar labels.
+func stackLabel(k core.StackKind) string {
+	switch k {
+	case core.StackD1HW:
+		return "D1"
+	case core.StackD2HW:
+		return "D2"
+	case core.StackDKHW:
+		return "D3(DeLiBA-K)"
+	default:
+		return k.String()
+	}
+}
+
+// ThroughputTables renders the Fig. 6 / Fig. 8 view (MB/s per block size).
+func (r *HWSweepResult) ThroughputTables() []*metrics.Table {
+	return r.tables(true)
+}
+
+// IOPSTables renders the Fig. 7 / Fig. 9 view (KIOPS per block size).
+func (r *HWSweepResult) IOPSTables() []*metrics.Table {
+	return r.tables(false)
+}
+
+func (r *HWSweepResult) tables(throughput bool) []*metrics.Table {
+	mode := "Replication"
+	fig := "Fig 6"
+	unit := "MB/s"
+	if !throughput {
+		fig = "Fig 7"
+		unit = "KIOPS"
+	}
+	if r.EC {
+		mode = "Erasure Coding"
+		fig = "Fig 8"
+		if !throughput {
+			fig = "Fig 9"
+		}
+	}
+	var out []*metrics.Table
+	for _, wl := range StdWorkloads {
+		headers := []string{"block size"}
+		for _, k := range r.Stacks {
+			headers = append(headers, stackLabel(k))
+		}
+		headers = append(headers, "DK speedup vs D2")
+		t := metrics.NewTable(
+			fmt.Sprintf("%s — HW %s %s [%s]", fig, mode, wl.Name, unit), headers...)
+		for _, bs := range BlockSizes {
+			row := []any{bsLabel(bs)}
+			var d2, dk float64
+			for _, k := range r.Stacks {
+				p, ok := findPoint(r.Points, k, wl.Name, bs)
+				v := 0.0
+				if ok {
+					if throughput {
+						v = p.MBps
+					} else {
+						v = p.KIOPS
+					}
+				}
+				if k == core.StackD2HW {
+					d2 = v
+				}
+				if k == core.StackDKHW {
+					dk = v
+				}
+				row = append(row, v)
+			}
+			sp := "-"
+			if d2 > 0 {
+				sp = fmt.Sprintf("%.2fx", dk/d2)
+			}
+			row = append(row, sp)
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Speedup returns DK's gain over D2 for a workload and block size.
+func (r *HWSweepResult) Speedup(wl string, bs int) (float64, error) {
+	dk, ok1 := findPoint(r.Points, core.StackDKHW, wl, bs)
+	d2, ok2 := findPoint(r.Points, core.StackD2HW, wl, bs)
+	if !ok1 || !ok2 || d2.MBps == 0 {
+		return 0, fmt.Errorf("experiments: missing sweep cells for %s/%d", wl, bs)
+	}
+	return dk.MBps / d2.MBps, nil
+}

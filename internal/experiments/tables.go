@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crush"
+	"repro/internal/erasure"
+	"repro/internal/fpga"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Table1Row is one kernel row of Table I.
+type Table1Row struct {
+	Kernel fpga.KernelID
+	// GoSWTime is the measured execution time of this repository's Go
+	// implementation of the kernel (software path).
+	GoSWTime time.Duration
+	// PaperSWTime is the paper's profiled Ceph-kernel software time.
+	PaperSWTime sim.Duration
+	// RuntimeShare is the paper's "overall contribution to runtime".
+	RuntimeShare float64
+	// RTLCycles and ModelLatency come from the hardware model (= the
+	// paper's Vivado columns).
+	RTLCycles    int
+	ModelLatency sim.Duration
+	// PaperHWExec is the measured-on-U280 column.
+	PaperHWExec sim.Duration
+	// ModelHWExec is our simulated end-to-end kernel invocation including
+	// the QDMA crossing of a 4 kB operand.
+	ModelHWExec sim.Duration
+	// SLOCs from the paper (C and Verilog).
+	SLOCsC, SLOCsVerilog int
+}
+
+// Table1 profiles the software kernels (really executing this repo's CRUSH
+// and Reed-Solomon implementations) and reads the hardware model.
+func Table1() ([]Table1Row, error) {
+	// A map shaped like the testbed for realistic bucket sizes.
+	algs := map[fpga.KernelID]crush.Alg{
+		fpga.KStraw:   crush.StrawAlg,
+		fpga.KStraw2:  crush.Straw2Alg,
+		fpga.KList:    crush.ListAlg,
+		fpga.KTree:    crush.TreeAlg,
+		fpga.KUniform: crush.UniformAlg,
+	}
+	var rows []Table1Row
+	order := []fpga.KernelID{fpga.KStraw, fpga.KStraw2, fpga.KList, fpga.KTree, fpga.KUniform, fpga.KRSEncoder}
+	for _, id := range order {
+		spec := fpga.KernelTable[id]
+		row := Table1Row{
+			Kernel:       id,
+			PaperSWTime:  spec.SWExecTime,
+			RuntimeShare: spec.SWRuntimeShare,
+			RTLCycles:    spec.RTLCyclesMax,
+			ModelLatency: spec.PipelineLatency(),
+			PaperHWExec:  spec.HWExecTime,
+			SLOCsC:       spec.SLOCsC,
+			SLOCsVerilog: spec.SLOCsVerilog,
+		}
+		if id == fpga.KRSEncoder {
+			row.GoSWTime = profileRSEncode()
+		} else {
+			t, err := profileCrushSelect(algs[id])
+			if err != nil {
+				return nil, err
+			}
+			row.GoSWTime = t
+		}
+		hw, err := modelHWExec(id)
+		if err != nil {
+			return nil, err
+		}
+		row.ModelHWExec = hw
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// profileCrushSelect times full rule evaluation (map walk + bucket draws)
+// on a 32-OSD map with the given bucket algorithm.
+func profileCrushSelect(alg crush.Alg) (time.Duration, error) {
+	m, _, err := crush.BuildCluster(crush.ClusterSpec{
+		Hosts: 2, OSDsPerHost: 16, HostAlg: alg, RootAlg: alg,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rule := m.Rule("replicated_rule")
+	const iters = 20000
+	start := time.Now()
+	for x := uint32(0); x < iters; x++ {
+		if _, err := m.Select(rule, x, 2, nil); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / iters, nil
+}
+
+// profileRSEncode times a 4 kB stripe encode with the testbed geometry.
+func profileRSEncode() time.Duration {
+	code, err := erasure.New(4, 2, erasure.VandermondeRS)
+	if err != nil {
+		return 0
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	shards := code.Split(data)
+	const iters = 5000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := code.Encode(shards); err != nil {
+			return 0
+		}
+	}
+	return time.Since(start) / iters
+}
+
+// modelHWExec simulates one end-to-end kernel invocation: H2C of a 4 kB
+// operand through QDMA, the kernel FSM, and the C2H result writeback.
+func modelHWExec(id fpga.KernelID) (sim.Duration, error) {
+	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	if err != nil {
+		return 0, err
+	}
+	shell, err := fpga.BuildShell(tb.Eng, fpga.ShellConfig{
+		Map:        tb.Cluster.Map,
+		Rule:       tb.Cluster.Map.Rule("replicated_osd"),
+		Code:       tb.ECPool.Code,
+		StaticOnly: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var end sim.Time
+	tb.Eng.Spawn("hwexec", func(p *sim.Proc) {
+		// Host→card operand movement is part of the measured time on the
+		// real card; model it as a QDMA-class PCIe crossing.
+		p.Sleep(3 * sim.Microsecond)
+		if id == fpga.KRSEncoder {
+			shell.RS.EncodeWait(p, 4096, nil)
+		} else {
+			var acc *fpga.CrushAccel
+			switch id {
+			case fpga.KStraw:
+				acc = shell.Straw
+			case fpga.KStraw2:
+				acc = shell.Straw2
+			default:
+				acc, _ = shell.DynAccel(id)
+			}
+			if acc != nil {
+				acc.SelectWait(p, 7, 2)
+			}
+		}
+		p.Sleep(2 * sim.Microsecond) // C2H result + completion
+		end = p.Now()
+	})
+	tb.Eng.Run()
+	return sim.Duration(end), nil
+}
+
+// Table1Table renders the rows.
+func Table1Table(rows []Table1Row) *metrics.Table {
+	t := metrics.NewTable("Table I — Replication and EC kernels",
+		"kernel", "Go SW (measured)", "paper SW", "share", "RTL cycles",
+		"model latency", "paper HW exec", "model HW exec", "SLOC C", "SLOC Verilog")
+	for _, r := range rows {
+		t.AddRow(
+			fpga.KernelTable[r.Kernel].Name,
+			fmt.Sprintf("%.2fµs", float64(r.GoSWTime.Nanoseconds())/1000),
+			us(r.PaperSWTime),
+			fmt.Sprintf("%.0f%%", r.RuntimeShare*100),
+			r.RTLCycles,
+			fmt.Sprintf("%.3fµs", r.ModelLatency.Microseconds()),
+			us(r.PaperHWExec),
+			fmt.Sprintf("%.2fµs", r.ModelHWExec.Microseconds()),
+			r.SLOCsC,
+			r.SLOCsVerilog,
+		)
+	}
+	return t
+}
+
+// Table2Result holds the end-to-end 4 kB latency grid.
+type Table2Result struct {
+	Replication []Point // D1, D2, DK
+	Erasure     []Point // D2, DK
+}
+
+// paperTable2 reference values in µs: seq-read, seq-write, rand-read,
+// rand-write.
+var paperTable2 = map[string]map[string][4]float64{
+	"replication": {
+		"deliba-1-hw": {65, 95, 130, 98},
+		"deliba-2-hw": {55, 75, 85, 82},
+		"deliba-k-hw": {40, 52, 64, 68},
+	},
+	"erasure": {
+		"deliba-2-hw": {48, 70, 82, 75},
+		"deliba-k-hw": {38, 47, 59, 60},
+	},
+}
+
+// Table2 measures the I/O request latency grid of Table II.
+func Table2(cfg Config) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, kind := range []core.StackKind{core.StackD1HW, core.StackD2HW, core.StackDKHW} {
+		for _, wl := range StdWorkloads {
+			p, err := runLatency(cfg, kind, false, wl, 4096)
+			if err != nil {
+				return nil, err
+			}
+			res.Replication = append(res.Replication, p)
+		}
+	}
+	for _, kind := range []core.StackKind{core.StackD2HW, core.StackDKHW} {
+		for _, wl := range StdWorkloads {
+			p, err := runLatency(cfg, kind, true, wl, 4096)
+			if err != nil {
+				return nil, err
+			}
+			res.Erasure = append(res.Erasure, p)
+		}
+	}
+	return res, nil
+}
+
+// Latency returns the measured mean for a cell.
+func (r *Table2Result) Latency(kind core.StackKind, ec bool, wl string) (sim.Duration, bool) {
+	pts := r.Replication
+	if ec {
+		pts = r.Erasure
+	}
+	p, ok := findPoint(pts, kind, wl, 4096)
+	return p.Mean, ok
+}
+
+// Tables renders Table II with paper reference values alongside.
+func (r *Table2Result) Tables() []*metrics.Table {
+	render := func(title, mode string, stacks []core.StackKind, pts []Point) *metrics.Table {
+		t := metrics.NewTable(title,
+			"framework", "seq-read", "seq-write", "rand-read", "rand-write", "paper (sr/sw/rr/rw)")
+		for _, k := range stacks {
+			row := []any{k.String()}
+			for _, wl := range StdWorkloads {
+				p, _ := findPoint(pts, k, wl.Name, 4096)
+				row = append(row, us(p.Mean))
+			}
+			ref := paperTable2[mode][k.String()]
+			row = append(row, fmt.Sprintf("%.0f/%.0f/%.0f/%.0f", ref[0], ref[1], ref[2], ref[3]))
+			t.AddRow(row...)
+		}
+		return t
+	}
+	return []*metrics.Table{
+		render("Table II — 4 kB latency [µs], replication", "replication",
+			[]core.StackKind{core.StackD1HW, core.StackD2HW, core.StackDKHW}, r.Replication),
+		render("Table II — 4 kB latency [µs], erasure coding", "erasure",
+			[]core.StackKind{core.StackD2HW, core.StackDKHW}, r.Erasure),
+	}
+}
+
+// Table3 renders the resource-utilisation report from the FPGA model.
+func Table3() ([]*metrics.Table, error) {
+	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	if err != nil {
+		return nil, err
+	}
+	shell, err := fpga.BuildShell(tb.Eng, fpga.ShellConfig{
+		Map:  tb.Cluster.Map,
+		Rule: tb.Cluster.Map.Rule("replicated_osd"),
+		Code: tb.ECPool.Code,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := shell.Dev
+	total := dev.TotalResources()
+
+	static := metrics.NewTable(
+		"Table III — static kernels (RTL kernel + RTL TCP/IP + CMAC + QDMA)",
+		"kernel", "LUTs", "LUT %", "registers", "FF %", "BRAM", "BRAM %", "URAM", "URAM %", "DSP")
+	for _, id := range []fpga.KernelID{fpga.KStraw, fpga.KStraw2, fpga.KRSEncoder} {
+		spec := fpga.KernelTable[id]
+		u := spec.Usage.Utilization(total)
+		static.AddRow(spec.Name,
+			spec.Usage.LUTs, fmt.Sprintf("%.2f%%", u["LUT"]),
+			spec.Usage.Registers, fmt.Sprintf("%.2f%%", u["FF"]),
+			spec.Usage.BRAM, fmt.Sprintf("%.2f%%", u["BRAM"]),
+			spec.Usage.URAM, fmt.Sprintf("%.2f%%", u["URAM"]),
+			spec.Usage.DSP)
+	}
+
+	slr0 := dev.SLRs[0].Total
+	rms := metrics.NewTable(
+		"Table III — partial reconfiguration modules (RMs) in SLR0",
+		"RM", "LUTs", "LUT %", "registers", "FF %", "BRAM", "BRAM %", "URAM", "URAM %", "DSP", "partial BIT", "load time")
+	for _, row := range shell.RP.ConfigurationAnalysis() {
+		u := row.Usage.Utilization(slr0)
+		rms.AddRow(row.RM,
+			row.Usage.LUTs, fmt.Sprintf("%.2f%%", u["LUT"]),
+			row.Usage.Registers, fmt.Sprintf("%.2f%%", u["FF"]),
+			row.Usage.BRAM, fmt.Sprintf("%.2f%%", u["BRAM"]),
+			row.Usage.URAM, fmt.Sprintf("%.2f%%", u["URAM"]),
+			row.Usage.DSP,
+			fmt.Sprintf("%.1fMB", float64(row.BitBytes)/1e6),
+			row.LoadTime.String())
+	}
+	return []*metrics.Table{static, rms}, nil
+}
+
+// PowerResult reproduces the §V-c measurement: full load with and without
+// partial reconfiguration.
+type PowerResult struct {
+	StaticWatts float64 // no partial reconfiguration: all kernels resident
+	DFXWatts    float64 // with DFX: one RM live
+}
+
+// Power measures both design variants under load.
+func Power() (*PowerResult, error) {
+	buildAndMeasure := func(staticOnly bool) (float64, error) {
+		tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+		if err != nil {
+			return 0, err
+		}
+		shell, err := fpga.BuildShell(tb.Eng, fpga.ShellConfig{
+			Map:        tb.Cluster.Map,
+			Rule:       tb.Cluster.Map.Rule("replicated_osd"),
+			Code:       tb.ECPool.Code,
+			StaticOnly: staticOnly,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !staticOnly {
+			tb.Eng.Spawn("load", func(p *sim.Proc) {
+				shell.LoadDynKernel(p, fpga.KUniform)
+			})
+			tb.Eng.Run()
+		}
+		return shell.Power(), nil
+	}
+	s, err := buildAndMeasure(true)
+	if err != nil {
+		return nil, err
+	}
+	d, err := buildAndMeasure(false)
+	if err != nil {
+		return nil, err
+	}
+	return &PowerResult{StaticWatts: s, DFXWatts: d}, nil
+}
+
+// Table renders the power comparison.
+func (p *PowerResult) Table() *metrics.Table {
+	t := metrics.NewTable("Power — full load (paper §V-c)",
+		"configuration", "model [W]", "paper [W]")
+	t.AddRow("no partial reconfiguration", p.StaticWatts, 195.0)
+	t.AddRow("with partial reconfiguration", p.DFXWatts, 170.0)
+	return t
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Meter accumulates completed operations and bytes over a virtual-time
+// window and reports IOPS and MB/s.
+type Meter struct {
+	ops   uint64
+	bytes uint64
+	start sim.Time
+	end   sim.Time
+}
+
+// NewMeter returns a meter whose window opens at start.
+func NewMeter(start sim.Time) *Meter {
+	return &Meter{start: start, end: start}
+}
+
+// Add records one completed operation of n bytes finishing at t.
+func (m *Meter) Add(t sim.Time, n int) {
+	m.ops++
+	m.bytes += uint64(n)
+	if t > m.end {
+		m.end = t
+	}
+}
+
+// Ops returns the operation count.
+func (m *Meter) Ops() uint64 { return m.ops }
+
+// Bytes returns the byte count.
+func (m *Meter) Bytes() uint64 { return m.bytes }
+
+// Elapsed returns the window length.
+func (m *Meter) Elapsed() sim.Duration { return m.end.Sub(m.start) }
+
+// CloseAt extends the window to t (for fixed-duration runs).
+func (m *Meter) CloseAt(t sim.Time) {
+	if t > m.end {
+		m.end = t
+	}
+}
+
+// IOPS returns operations per second of virtual time.
+func (m *Meter) IOPS() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.ops) / el
+}
+
+// KIOPS returns thousands of operations per second.
+func (m *Meter) KIOPS() float64 { return m.IOPS() / 1e3 }
+
+// ThroughputMBps returns megabytes (1e6 bytes) per second of virtual time.
+func (m *Meter) ThroughputMBps() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.bytes) / 1e6 / el
+}
+
+func (m *Meter) String() string {
+	return fmt.Sprintf("ops=%d bytes=%d elapsed=%v iops=%.0f MB/s=%.1f",
+		m.ops, m.bytes, m.Elapsed(), m.IOPS(), m.ThroughputMBps())
+}

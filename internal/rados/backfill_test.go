@@ -1,0 +1,189 @@
+package rados
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/crush"
+	"repro/internal/sim"
+)
+
+// failAndRecover writes data, marks an OSD out, backfills, and returns the
+// cluster plus the failed OSD for assertions.
+func TestBackfillRestoresRedundancy(t *testing.T) {
+	eng, c, cl := newTestCluster(t)
+	mon := NewMonitor(c)
+	pool, _ := c.CreateReplicatedPool("p", 2, 64)
+	const objects = 24
+	payloads := map[string][]byte{}
+
+	var rep BackfillReport
+	var failed int
+	eng.Spawn("scenario", func(p *sim.Proc) {
+		for i := 0; i < objects; i++ {
+			name := fmt.Sprintf("obj%03d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 2048+i)
+			payloads[name] = data
+			if err := cl.Write(p, pool, name, 0, data); err != nil {
+				t.Errorf("write %s: %v", name, err)
+			}
+		}
+		before := mon.Reweights()
+		// Fail an OSD that certainly holds data.
+		for osd := 0; osd < 32; osd++ {
+			if c.OSDs[osd].Store.Objects() > 0 {
+				failed = osd
+				break
+			}
+		}
+		c.OSDs[failed].SetUp(false)
+		mon.MarkOut(failed)
+		after := mon.Reweights()
+
+		var err error
+		rep, err = NewBackfiller(c).BackfillPool(p, pool, before, after)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+
+	if rep.ObjectsMoved == 0 || rep.BytesMoved == 0 {
+		t.Fatalf("nothing moved: %+v", rep)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("backfill was free")
+	}
+	if rep.Degraded != 0 {
+		t.Fatalf("degraded objects: %d", rep.Degraded)
+	}
+
+	// Every object must now have 2 live replicas on its NEW acting set,
+	// with correct bytes.
+	for name, want := range payloads {
+		acting, err := c.ActingSet(pool, c.PGOf(pool, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range acting {
+			if o == failed {
+				t.Fatalf("%s still mapped to failed osd", name)
+			}
+			ms := c.OSDs[o].Store.(*MemStore)
+			got, _ := ms.Read(name, 0, ms.Size(name))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s on osd.%d wrong after backfill", name, o)
+			}
+		}
+	}
+}
+
+func TestBackfillECShards(t *testing.T) {
+	eng, c, cl := newTestCluster(t)
+	mon := NewMonitor(c)
+	pool, _ := c.CreateECPool("e", 4, 2, 64)
+	payload := make([]byte, 16384)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var rep BackfillReport
+	var failed int
+	eng.Spawn("scenario", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			if err := cl.Write(p, pool, fmt.Sprintf("s%d", i), 0, payload); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		before := mon.Reweights()
+		acting, _ := c.ActingSet(pool, c.PGOf(pool, "s0"))
+		failed = acting[1]
+		c.OSDs[failed].SetUp(false)
+		mon.MarkOut(failed)
+		var err error
+		rep, err = NewBackfiller(c).BackfillPool(p, pool, before, mon.Reweights())
+		if err != nil {
+			t.Error(err)
+		}
+		// Restore the OSD's liveness (weight stays 0) so reads do not
+		// detour; then verify the stripes read back intact from the new
+		// layout.
+		for i := 0; i < 6; i++ {
+			got, err := cl.Read(p, pool, fmt.Sprintf("s%d", i), 0, len(payload))
+			if err != nil {
+				t.Errorf("read s%d: %v", i, err)
+				continue
+			}
+			if !bytes.Equal(got, payload) {
+				t.Errorf("s%d corrupted after EC backfill", i)
+			}
+		}
+	})
+	eng.Run()
+	if rep.ObjectsMoved == 0 {
+		t.Fatalf("no shards moved: %+v", rep)
+	}
+}
+
+func TestBackfillNoChangeIsNoop(t *testing.T) {
+	eng, c, cl := newTestCluster(t)
+	mon := NewMonitor(c)
+	pool, _ := c.CreateReplicatedPool("p", 2, 32)
+	var rep BackfillReport
+	eng.Spawn("scenario", func(p *sim.Proc) {
+		cl.Write(p, pool, "x", 0, []byte("data"))
+		var err error
+		rep, err = NewBackfiller(c).BackfillPool(p, pool, mon.Reweights(), mon.Reweights())
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if rep.ObjectsMoved != 0 || rep.BytesMoved != 0 {
+		t.Fatalf("no-op backfill moved data: %+v", rep)
+	}
+}
+
+func TestBackfillThrottleScalesTime(t *testing.T) {
+	run := func(streams int) sim.Duration {
+		eng, c, cl := newTestCluster(t)
+		mon := NewMonitor(c)
+		// A single PG concentrates every object on one acting set, so the
+		// failure moves all 16 objects and the throttle is visible.
+		pool, _ := c.CreateReplicatedPool("p", 2, 1)
+		var rep BackfillReport
+		eng.Spawn("scenario", func(p *sim.Proc) {
+			for i := 0; i < 16; i++ {
+				cl.Write(p, pool, fmt.Sprintf("o%02d", i), 0, make([]byte, 64*1024))
+			}
+			before := mon.Reweights()
+			var failed int
+			for osd := 0; osd < 32; osd++ {
+				if c.OSDs[osd].Store.Objects() > 0 {
+					failed = osd
+					break
+				}
+			}
+			c.OSDs[failed].SetUp(false)
+			mon.MarkOut(failed)
+			bf := NewBackfiller(c)
+			bf.Streams = streams
+			var err error
+			rep, err = bf.BackfillPool(p, pool, before, mon.Reweights())
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		eng.Run()
+		if rep.ObjectsMoved == 0 {
+			t.Skip("failed OSD held no data in this layout")
+		}
+		return rep.Elapsed
+	}
+	narrow := run(1)
+	wide := run(8)
+	if narrow <= wide {
+		t.Fatalf("1 stream (%v) not slower than 8 streams (%v)", narrow, wide)
+	}
+	_ = crush.WeightOne
+}

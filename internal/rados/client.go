@@ -1,0 +1,333 @@
+package rados
+
+import (
+	"fmt"
+
+	"repro/internal/crush"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Client executes object operations against a Cluster using the software
+// primary-copy protocol (the Ceph baseline): the client talks to the acting
+// primary, which fans replication or erasure shards out to the other acting
+// OSDs. Host-side API costs (io_uring vs. NBD, context switches) are NOT
+// charged here — they belong to the framework stacks in internal/core.
+type Client struct {
+	Cluster *Cluster
+	Host    *netsim.Host
+
+	// PlacementCost is the client CPU time to compute CRUSH placement per
+	// operation (the software CRUSH kernel; 0 when an accelerator owns it).
+	PlacementCost sim.Duration
+	// ECEncodeCost returns the primary's CPU time to erasure-encode n
+	// bytes; ECDecodeCost the time to reconstruct n bytes.
+	ECEncodeCost func(n int) sim.Duration
+	// ECDecodeCost is charged when a read needs parity reconstruction.
+	ECDecodeCost func(n int) sim.Duration
+	// Functional controls whether payload bytes are really moved through
+	// the erasure codec and stores. Benchmarks switch it off to model
+	// timing over synthetic payloads without the memory traffic.
+	Functional bool
+}
+
+// NewClient attaches a client host to the cluster's fabric.
+func NewClient(c *Cluster, name string, bitsPerSec float64, stack netsim.StackCost) (*Client, error) {
+	h, err := c.Fabric.AddHost(name, bitsPerSec, stack)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		Cluster:      c,
+		Host:         h,
+		ECEncodeCost: func(n int) sim.Duration { return 10*sim.Microsecond + sim.Duration(n/1024)*200*sim.Nanosecond },
+		ECDecodeCost: func(n int) sim.Duration { return 12*sim.Microsecond + sim.Duration(n/1024)*250*sim.Nanosecond },
+		Functional:   true,
+	}, nil
+}
+
+func (cl *Client) fabric() *netsim.Fabric { return cl.Cluster.Fabric }
+
+// shardKey names the stored shard object for an EC stripe write.
+func shardKey(obj string, off, rank int) string {
+	return fmt.Sprintf("%s:%d.s%d", obj, off, rank)
+}
+
+// Write stores data at (obj, off) in the pool and returns when the write is
+// durable on all reachable placement targets.
+func (cl *Client) Write(p *sim.Proc, pool *Pool, obj string, off int, data []byte) error {
+	return cl.WriteOpts(p, pool, obj, off, data, ReqOpts{})
+}
+
+// WriteOpts is Write with per-request service hints.
+func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
+	if pool.Kind == ECPool {
+		return cl.writeEC(p, pool, obj, off, data, opts)
+	}
+	return cl.writeReplicated(p, pool, obj, off, data, opts)
+}
+
+func (cl *Client) writeReplicated(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
+	c := cl.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return err
+	}
+	var up []int
+	for _, o := range acting {
+		if o != crush.ItemNone && c.OSDs[o].Up() {
+			up = append(up, o)
+		}
+	}
+	if len(up) == 0 {
+		return fmt.Errorf("rados: pg for %q has no up replicas", obj)
+	}
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	primary := up[0]
+	pNode := c.NodeOf(primary)
+	cl.fabric().SendWait(p, cl.Host, pNode, HdrBytes+len(data))
+
+	// Primary writes locally and replicates to the other up members in
+	// parallel; each follower acks the primary.
+	comps := make([]*sim.Completion, 0, len(up))
+	local := c.Eng.NewCompletion()
+	c.OSDs[primary].SubmitOpts(opts, OpWrite, obj, off, data, 0, func(r Result) {
+		local.Complete(nil, r.Err)
+	})
+	comps = append(comps, local)
+	for _, o := range up[1:] {
+		o := o
+		comp := c.Eng.NewCompletion()
+		oNode := c.NodeOf(o)
+		cl.fabric().Send(pNode, oNode, HdrBytes+len(data), func() {
+			c.OSDs[o].SubmitOpts(opts, OpWrite, obj, off, data, 0, func(r Result) {
+				cl.fabric().Send(oNode, pNode, HdrBytes, func() {
+					comp.Complete(nil, r.Err)
+				})
+			})
+		})
+		comps = append(comps, comp)
+	}
+	var firstErr error
+	for _, comp := range comps {
+		if _, err := p.Await(comp); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	cl.fabric().SendWait(p, pNode, cl.Host, HdrBytes)
+	return firstErr
+}
+
+// Read returns n bytes at (obj, off).
+func (cl *Client) Read(p *sim.Proc, pool *Pool, obj string, off, n int) ([]byte, error) {
+	return cl.ReadOpts(p, pool, obj, off, n, ReqOpts{})
+}
+
+// ReadOpts is Read with per-request service hints.
+func (cl *Client) ReadOpts(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	if pool.Kind == ECPool {
+		return cl.readEC(p, pool, obj, off, n, opts)
+	}
+	return cl.readReplicated(p, pool, obj, off, n, opts)
+}
+
+func (cl *Client) readReplicated(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	c := cl.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return nil, err
+	}
+	primary, ok := c.PrimaryFor(acting)
+	if !ok {
+		return nil, fmt.Errorf("rados: pg for %q has no up replicas", obj)
+	}
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	pNode := c.NodeOf(primary)
+	cl.fabric().SendWait(p, cl.Host, pNode, HdrBytes)
+	done := c.Eng.NewCompletion()
+	c.OSDs[primary].SubmitOpts(opts, OpRead, obj, off, nil, n, func(r Result) {
+		done.Complete(r, r.Err)
+	})
+	v, _ := p.Await(done)
+	res := v.(Result)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	cl.fabric().SendWait(p, pNode, cl.Host, HdrBytes+n)
+	return res.Data, nil
+}
+
+func (cl *Client) writeEC(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
+	c := cl.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return err
+	}
+	upCount := 0
+	for _, o := range acting {
+		if o != crush.ItemNone && c.OSDs[o].Up() {
+			upCount++
+		}
+	}
+	if upCount < pool.K {
+		return fmt.Errorf("rados: pg for %q has %d up shards, need >= %d", obj, upCount, pool.K)
+	}
+	primary, _ := c.PrimaryFor(acting)
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	pNode := c.NodeOf(primary)
+	cl.fabric().SendWait(p, cl.Host, pNode, HdrBytes+len(data))
+
+	// Primary encodes, then distributes shards to the acting ranks.
+	p.Sleep(cl.ECEncodeCost(len(data)))
+	shardSize := (len(data) + pool.K - 1) / pool.K
+	var shards [][]byte
+	if cl.Functional {
+		shards = pool.Code.Split(data)
+		if err := pool.Code.Encode(shards); err != nil {
+			return err
+		}
+	}
+	var comps []*sim.Completion
+	for rank, o := range acting {
+		if o == crush.ItemNone || !c.OSDs[o].Up() {
+			continue // degraded write: skip unreachable shard
+		}
+		var payload []byte
+		if cl.Functional {
+			payload = shards[rank]
+		} else {
+			payload = make([]byte, 0) // size carried separately below
+		}
+		key := shardKey(obj, off, rank)
+		comp := c.Eng.NewCompletion()
+		comps = append(comps, comp)
+		o := o
+		writeShard := func() {
+			d := payload
+			if !cl.Functional {
+				d = zeroBytes(shardSize)
+			}
+			oNode := c.NodeOf(o)
+			c.OSDs[o].SubmitOpts(opts, OpWrite, key, 0, d, 0, func(r Result) {
+				if o == primary {
+					comp.Complete(nil, r.Err)
+					return
+				}
+				cl.fabric().Send(oNode, pNode, HdrBytes, func() {
+					comp.Complete(nil, r.Err)
+				})
+			})
+		}
+		if o == primary {
+			writeShard()
+		} else {
+			cl.fabric().Send(pNode, c.NodeOf(o), HdrBytes+shardSize, writeShard)
+		}
+	}
+	var firstErr error
+	for _, comp := range comps {
+		if _, err := p.Await(comp); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	cl.fabric().SendWait(p, pNode, cl.Host, HdrBytes)
+	return firstErr
+}
+
+func (cl *Client) readEC(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	c := cl.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return nil, err
+	}
+	primary, ok := c.PrimaryFor(acting)
+	if !ok {
+		return nil, fmt.Errorf("rados: pg for %q has no up shards", obj)
+	}
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	pNode := c.NodeOf(primary)
+	cl.fabric().SendWait(p, cl.Host, pNode, HdrBytes)
+
+	// Choose k source ranks, preferring the data shards so no decode is
+	// needed on the healthy path.
+	shardSize := (n + pool.K - 1) / pool.K
+	type src struct{ rank, osd int }
+	var srcs []src
+	for rank := 0; rank < pool.K && len(srcs) < pool.K; rank++ {
+		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
+			srcs = append(srcs, src{rank, o})
+		}
+	}
+	needDecode := len(srcs) < pool.K
+	for rank := pool.K; rank < pool.K+pool.M && len(srcs) < pool.K; rank++ {
+		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
+			srcs = append(srcs, src{rank, o})
+		}
+	}
+	if len(srcs) < pool.K {
+		return nil, fmt.Errorf("rados: pg for %q has too few up shards", obj)
+	}
+
+	// Gather the k shards in parallel.
+	gathered := make([][]byte, pool.K+pool.M)
+	var comps []*sim.Completion
+	for _, s := range srcs {
+		s := s
+		key := shardKey(obj, off, s.rank)
+		comp := c.Eng.NewCompletion()
+		comps = append(comps, comp)
+		readShard := func() {
+			oNode := c.NodeOf(s.osd)
+			c.OSDs[s.osd].SubmitOpts(opts, OpRead, key, 0, nil, shardSize, func(r Result) {
+				gathered[s.rank] = r.Data
+				if s.osd == primary {
+					comp.Complete(nil, r.Err)
+					return
+				}
+				cl.fabric().Send(oNode, pNode, HdrBytes+shardSize, func() {
+					comp.Complete(nil, r.Err)
+				})
+			})
+		}
+		if s.osd == primary {
+			readShard()
+		} else {
+			cl.fabric().Send(pNode, c.NodeOf(s.osd), HdrBytes, readShard)
+		}
+	}
+	for _, comp := range comps {
+		if _, err := p.Await(comp); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []byte
+	if needDecode {
+		p.Sleep(cl.ECDecodeCost(n))
+	}
+	if cl.Functional {
+		if needDecode {
+			if err := pool.Code.Reconstruct(gathered); err != nil {
+				return nil, err
+			}
+		}
+		out, err = pool.Code.Join(gathered, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		out = zeroBytes(n)
+	}
+	cl.fabric().SendWait(p, pNode, cl.Host, HdrBytes+n)
+	return out, nil
+}
+
+func zeroBytes(n int) []byte { return make([]byte, n) }

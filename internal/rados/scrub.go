@@ -1,0 +1,323 @@
+package rados
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Scrubber performs replica consistency checks — the deep-scrub half of
+// Ceph's data-integrity machinery. For replicated pools it byte-compares
+// every copy of every object; for EC pools it re-verifies each stripe's
+// parity with the pool's codec. Scrubbing requires functional (MemStore)
+// clusters, since metadata-only stores have nothing to compare.
+type Scrubber struct {
+	c *Cluster
+	// ReadCost is the simulated media cost per scanned object per replica.
+	ReadCost sim.Duration
+}
+
+// NewScrubber attaches a scrubber to the cluster.
+func NewScrubber(c *Cluster) *Scrubber {
+	return &Scrubber{c: c, ReadCost: 50 * sim.Microsecond}
+}
+
+// Inconsistency describes one damaged object.
+type Inconsistency struct {
+	Pool   string
+	Object string
+	// BadOSDs are the devices whose copy/shard disagrees with the
+	// majority (replicated) or breaks parity (EC).
+	BadOSDs []int
+}
+
+func (i Inconsistency) String() string {
+	return fmt.Sprintf("%s/%s on osds %v", i.Pool, i.Object, i.BadOSDs)
+}
+
+// ScrubReport summarises one pass.
+type ScrubReport struct {
+	Pool            string
+	ObjectsScanned  int
+	Inconsistencies []Inconsistency
+}
+
+// Clean reports whether the scrub found no damage.
+func (r ScrubReport) Clean() bool { return len(r.Inconsistencies) == 0 }
+
+// ScrubPool scans every object of the pool from proc context, charging
+// virtual read time per copy examined.
+func (s *Scrubber) ScrubPool(p *sim.Proc, pool *Pool) (ScrubReport, error) {
+	rep := ScrubReport{Pool: pool.Name}
+	objs := s.objectsOf(pool)
+	for _, obj := range objs {
+		rep.ObjectsScanned++
+		var inc *Inconsistency
+		var err error
+		if pool.Kind == ECPool {
+			inc, err = s.scrubECStripe(p, pool, obj)
+		} else {
+			inc, err = s.scrubReplicated(p, pool, obj)
+		}
+		if err != nil {
+			return rep, err
+		}
+		if inc != nil {
+			rep.Inconsistencies = append(rep.Inconsistencies, *inc)
+		}
+	}
+	return rep, nil
+}
+
+// objectsOf enumerates logical object names for the pool by scanning OSD
+// stores. For EC pools, shard keys ("obj:off.sN") collapse to stripes.
+func (s *Scrubber) objectsOf(pool *Pool) []string {
+	seen := map[string]bool{}
+	for _, osd := range s.c.OSDs {
+		ms, ok := osd.Store.(*MemStore)
+		if !ok {
+			continue
+		}
+		for _, name := range ms.ObjectNames() {
+			if pool.Kind == ECPool {
+				// strip the ".sN" rank suffix
+				if i := lastIndex(name, ".s"); i > 0 {
+					name = name[:i]
+				}
+			}
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lastIndex(s, sub string) int {
+	for i := len(s) - len(sub); i >= 0; i-- {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// scrubReplicated majority-compares the copies on the acting set.
+func (s *Scrubber) scrubReplicated(p *sim.Proc, pool *Pool, obj string) (*Inconsistency, error) {
+	acting, err := s.c.ActingSet(pool, s.c.PGOf(pool, obj))
+	if err != nil {
+		return nil, err
+	}
+	type copyData struct {
+		osd  int
+		data []byte
+	}
+	var copies []copyData
+	for _, o := range acting {
+		if o < 0 || !s.c.OSDs[o].Up() {
+			continue
+		}
+		ms, ok := s.c.OSDs[o].Store.(*MemStore)
+		if !ok {
+			return nil, fmt.Errorf("rados: scrub requires MemStore clusters")
+		}
+		p.Sleep(s.ReadCost)
+		n := ms.Size(obj)
+		d, _ := ms.Read(obj, 0, n)
+		copies = append(copies, copyData{o, d})
+	}
+	if len(copies) < 2 {
+		return nil, nil
+	}
+	// Majority vote by content.
+	counts := map[string][]int{}
+	for _, c := range copies {
+		counts[string(c.data)] = append(counts[string(c.data)], c.osd)
+	}
+	if len(counts) == 1 {
+		return nil, nil
+	}
+	// The most common content wins; everything else is bad.
+	var bestKey string
+	best := -1
+	for k, osds := range counts {
+		if len(osds) > best {
+			best = len(osds)
+			bestKey = k
+		}
+	}
+	inc := &Inconsistency{Pool: pool.Name, Object: obj}
+	for k, osds := range counts {
+		if k != bestKey {
+			inc.BadOSDs = append(inc.BadOSDs, osds...)
+		}
+	}
+	sort.Ints(inc.BadOSDs)
+	return inc, nil
+}
+
+// scrubECStripe gathers all shards of a stripe and verifies parity.
+func (s *Scrubber) scrubECStripe(p *sim.Proc, pool *Pool, stripe string) (*Inconsistency, error) {
+	acting, err := s.c.ActingSet(pool, s.c.PGOf(pool, stripeBase(stripe)))
+	if err != nil {
+		return nil, err
+	}
+	shards := make([][]byte, pool.K+pool.M)
+	osdOf := make([]int, pool.K+pool.M)
+	for rank, o := range acting {
+		if rank >= len(shards) || o < 0 || !s.c.OSDs[o].Up() {
+			continue
+		}
+		ms, ok := s.c.OSDs[o].Store.(*MemStore)
+		if !ok {
+			return nil, fmt.Errorf("rados: scrub requires MemStore clusters")
+		}
+		key := fmt.Sprintf("%s.s%d", stripe, rank)
+		if ms.Size(key) == 0 {
+			continue
+		}
+		p.Sleep(s.ReadCost)
+		d, _ := ms.Read(key, 0, ms.Size(key))
+		shards[rank] = d
+		osdOf[rank] = o
+	}
+	complete := true
+	for _, sh := range shards {
+		if sh == nil {
+			complete = false
+			break
+		}
+	}
+	if !complete {
+		return nil, nil // degraded, not inconsistent
+	}
+	ok, err := pool.Code.Verify(shards)
+	if err != nil || ok {
+		return nil, err
+	}
+	// Identify the bad shard(s): try dropping each rank and reconstructing;
+	// if the reconstruction differs from what is stored, that rank is bad.
+	inc := &Inconsistency{Pool: pool.Name, Object: stripe}
+	for rank := range shards {
+		work := make([][]byte, len(shards))
+		copy(work, shards)
+		work[rank] = nil
+		if err := pool.Code.Reconstruct(work); err != nil {
+			continue
+		}
+		if okNow, _ := pool.Code.Verify(work); okNow && !bytes.Equal(work[rank], shards[rank]) {
+			inc.BadOSDs = append(inc.BadOSDs, osdOf[rank])
+		}
+	}
+	sort.Ints(inc.BadOSDs)
+	return inc, nil
+}
+
+// stripeBase strips the ":off" suffix of a stripe key to recover the
+// logical object name used for placement.
+func stripeBase(stripe string) string {
+	if i := lastIndex(stripe, ":"); i > 0 {
+		return stripe[:i]
+	}
+	return stripe
+}
+
+// Repair overwrites the bad copies found by a scrub with the majority /
+// reconstructed content. It returns how many copies were fixed.
+func (s *Scrubber) Repair(p *sim.Proc, pool *Pool, rep ScrubReport) (int, error) {
+	fixed := 0
+	for _, inc := range rep.Inconsistencies {
+		if pool.Kind == ECPool {
+			n, err := s.repairEC(p, pool, inc)
+			if err != nil {
+				return fixed, err
+			}
+			fixed += n
+			continue
+		}
+		n, err := s.repairReplicated(p, pool, inc)
+		if err != nil {
+			return fixed, err
+		}
+		fixed += n
+	}
+	return fixed, nil
+}
+
+func (s *Scrubber) repairReplicated(p *sim.Proc, pool *Pool, inc Inconsistency) (int, error) {
+	acting, err := s.c.ActingSet(pool, s.c.PGOf(pool, inc.Object))
+	if err != nil {
+		return 0, err
+	}
+	bad := map[int]bool{}
+	for _, o := range inc.BadOSDs {
+		bad[o] = true
+	}
+	// Find a good copy.
+	var good []byte
+	for _, o := range acting {
+		if o < 0 || bad[o] || !s.c.OSDs[o].Up() {
+			continue
+		}
+		ms := s.c.OSDs[o].Store.(*MemStore)
+		good, _ = ms.Read(inc.Object, 0, ms.Size(inc.Object))
+		break
+	}
+	if good == nil {
+		return 0, fmt.Errorf("rados: no good copy of %s to repair from", inc.Object)
+	}
+	fixed := 0
+	for o := range bad {
+		p.Sleep(s.ReadCost)
+		if err := s.c.OSDs[o].Store.Write(inc.Object, 0, good); err != nil {
+			return fixed, err
+		}
+		fixed++
+	}
+	return fixed, nil
+}
+
+func (s *Scrubber) repairEC(p *sim.Proc, pool *Pool, inc Inconsistency) (int, error) {
+	acting, err := s.c.ActingSet(pool, s.c.PGOf(pool, stripeBase(inc.Object)))
+	if err != nil {
+		return 0, err
+	}
+	bad := map[int]bool{}
+	for _, o := range inc.BadOSDs {
+		bad[o] = true
+	}
+	shards := make([][]byte, pool.K+pool.M)
+	for rank, o := range acting {
+		if rank >= len(shards) || o < 0 || bad[o] || !s.c.OSDs[o].Up() {
+			continue
+		}
+		ms := s.c.OSDs[o].Store.(*MemStore)
+		key := fmt.Sprintf("%s.s%d", inc.Object, rank)
+		if ms.Size(key) == 0 {
+			continue
+		}
+		d, _ := ms.Read(key, 0, ms.Size(key))
+		shards[rank] = d
+	}
+	if err := pool.Code.Reconstruct(shards); err != nil {
+		return 0, err
+	}
+	fixed := 0
+	for rank, o := range acting {
+		if rank >= len(shards) || o < 0 || !bad[o] {
+			continue
+		}
+		p.Sleep(s.ReadCost)
+		key := fmt.Sprintf("%s.s%d", inc.Object, rank)
+		if err := s.c.OSDs[o].Store.Write(key, 0, shards[rank]); err != nil {
+			return fixed, err
+		}
+		fixed++
+	}
+	return fixed, nil
+}

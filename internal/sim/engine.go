@@ -1,0 +1,200 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All DeLiBA-K substrates (block layer, QDMA, FPGA, network, OSD cluster)
+// are modelled in virtual time on top of this engine. Events execute in
+// strict (time, sequence) order, so every simulation run is exactly
+// reproducible for a given seed and workload.
+//
+// The engine is single-threaded by design: all model callbacks run on the
+// goroutine that called Run, so model code needs no locking. Concurrency in
+// the modelled system (multiple CPU cores, queues, devices) is expressed as
+// interleaved events and coroutine-style Procs, not OS parallelism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)
+
+// Microseconds reports d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+	idx int // heap index; -1 when popped/cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	running bool
+	stopped bool
+	procs   int // live coroutine processes
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after d elapses. A negative d is treated as zero.
+// It returns an EventID usable with Cancel.
+func (e *Engine) Schedule(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t. Times in the past execute "now" but never
+// before already-scheduled events at the current time.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return EventID{ev}
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.pq, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with time ≤ deadline. Events scheduled exactly at
+// the deadline do run. On return the clock rests at the last executed event
+// (or at the deadline if it advanced past all events).
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		if fn != nil {
+			fn()
+		}
+	}
+	if len(e.pq) == 0 && e.now < deadline && deadline != MaxTime {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Running reports whether the engine is inside Run/RunUntil.
+func (e *Engine) Running() bool { return e.running }

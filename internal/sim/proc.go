@@ -1,0 +1,168 @@
+package sim
+
+// Proc is a coroutine-style simulation process. A Proc runs ordinary
+// sequential Go code and advances virtual time with Sleep and Await; under
+// the hood the engine runs exactly one of {event loop, some Proc} at any
+// instant, so Procs need no locking and the interleaving is deterministic.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Spawn starts fn as a simulation process at the current virtual time.
+// fn begins executing when the engine reaches the spawn event, not
+// immediately. The name is for diagnostics only.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.step(p) })
+	return p
+}
+
+// step hands control to p and blocks until p yields or finishes.
+// It must only be called from engine context (inside an event).
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.done {
+		e.procs--
+	}
+}
+
+// pause yields control back to the engine and blocks until resumed.
+// Must only be called from the proc's own goroutine.
+func (p *Proc) pause() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.eng.Schedule(d, func() { p.eng.step(p) })
+	p.pause()
+}
+
+// Yield reschedules the process at the current time, letting other events
+// at the same instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Block suspends the process until the wake callback handed to register is
+// invoked. register runs immediately in the caller's context; the wake
+// callback must be invoked from engine context (inside an event), exactly
+// once. Block is the primitive custom wait-queues (rings, tag sets) build
+// on.
+func (p *Proc) Block(register func(wake func())) {
+	woke := false
+	register(func() {
+		woke = true
+		p.eng.step(p)
+	})
+	for !woke {
+		p.pause()
+	}
+}
+
+// Await blocks the process until c completes and returns its value/error.
+// If c has already completed it returns immediately (consuming no virtual
+// time).
+func (p *Proc) Await(c *Completion) (any, error) {
+	if !c.fired {
+		c.onFire(func() { p.eng.step(p) })
+		p.pause()
+	}
+	return c.val, c.err
+}
+
+// AwaitAll blocks until every completion in cs has fired.
+func (p *Proc) AwaitAll(cs ...*Completion) {
+	for _, c := range cs {
+		p.Await(c)
+	}
+}
+
+// Completion is a one-shot event carrying a value and an error. It is the
+// simulation analogue of a future: model code completes it once, and any
+// number of Procs or callbacks observe it.
+type Completion struct {
+	eng     *Engine
+	fired   bool
+	val     any
+	err     error
+	at      Time
+	waiters []func()
+}
+
+// NewCompletion returns an unfired completion bound to e.
+func (e *Engine) NewCompletion() *Completion { return &Completion{eng: e} }
+
+// Complete fires the completion with the given value and error. Waiters run
+// as fresh events at the current virtual time, preserving deterministic
+// ordering. Completing twice panics: a completion is strictly one-shot.
+func (c *Completion) Complete(val any, err error) {
+	if c.fired {
+		panic("sim: Completion completed twice")
+	}
+	c.fired = true
+	c.val = val
+	c.err = err
+	c.at = c.eng.Now()
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w := w
+		c.eng.Schedule(0, w)
+	}
+}
+
+// Done reports whether the completion has fired.
+func (c *Completion) Done() bool { return c.fired }
+
+// Value returns the completion value; valid only after Done.
+func (c *Completion) Value() any { return c.val }
+
+// Err returns the completion error; valid only after Done.
+func (c *Completion) Err() error { return c.err }
+
+// At returns the virtual time the completion fired; valid only after Done.
+func (c *Completion) At() Time { return c.at }
+
+// OnComplete registers fn to run (as an event) when the completion fires.
+// If already fired, fn is scheduled at the current time.
+func (c *Completion) OnComplete(fn func(val any, err error)) {
+	wrap := func() { fn(c.val, c.err) }
+	if c.fired {
+		c.eng.Schedule(0, wrap)
+		return
+	}
+	c.waiters = append(c.waiters, wrap)
+}
+
+func (c *Completion) onFire(fn func()) {
+	c.waiters = append(c.waiters, fn)
+}

@@ -1,0 +1,132 @@
+package uifd
+
+import (
+	"testing"
+
+	"repro/internal/blockmq"
+	"repro/internal/sim"
+	"repro/internal/zoned"
+)
+
+func newZonedStack(t *testing.T) (*sim.Engine, *blockmq.MQ, *ZonedDriver) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev, err := zoned.New(zoned.Config{ZoneBytes: 1 << 20, Zones: 8, MaxOpenZones: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewZonedDriver(eng, zoned.NewServiceModel(eng, dev))
+	mq, err := blockmq.New(eng, blockmq.Config{
+		CPUs: 2, HWQueues: 2, TagsPerHW: 8, Bypass: true,
+	}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mq, drv
+}
+
+func TestZonedSequentialWriteThroughMQ(t *testing.T) {
+	eng, mq, drv := newZonedStack(t)
+	var errs []error
+	eng.Spawn("writer", func(p *sim.Proc) {
+		// Sequential writes into zone 0 succeed.
+		for i := 0; i < 4; i++ {
+			c := eng.NewCompletion()
+			mq.Submit(p, blockmq.OpWrite, int64(i)*4096, 4096, 0, func(err error) {
+				c.Complete(nil, err)
+			})
+			if _, err := p.Await(c); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	})
+	eng.Run()
+	if len(errs) != 0 {
+		t.Fatalf("sequential writes failed: %v", errs)
+	}
+	if _, w, e := drv.Stats(); w != 4 || e != 0 {
+		t.Fatalf("stats w=%d e=%d", w, e)
+	}
+	z, _ := drv.Device().Zone(0)
+	if z.WP != 4*4096 {
+		t.Fatalf("wp = %d", z.WP)
+	}
+}
+
+func TestZonedContractViolationSurfacesAsIOError(t *testing.T) {
+	eng, mq, drv := newZonedStack(t)
+	var gotErr error
+	eng.Spawn("writer", func(p *sim.Proc) {
+		// A write not at the write pointer must fail through the stack.
+		c := eng.NewCompletion()
+		mq.Submit(p, blockmq.OpWrite, 8192, 4096, 0, func(err error) {
+			c.Complete(nil, err)
+		})
+		_, gotErr = p.Await(c)
+	})
+	eng.Run()
+	if gotErr != zoned.ErrNotWritePointer {
+		t.Fatalf("err = %v, want ErrNotWritePointer", gotErr)
+	}
+	if _, _, e := drv.Stats(); e != 1 {
+		t.Fatalf("error count = %d", e)
+	}
+}
+
+func TestZonedReadAndResetThroughDriver(t *testing.T) {
+	eng, mq, drv := newZonedStack(t)
+	eng.Spawn("io", func(p *sim.Proc) {
+		c1 := eng.NewCompletion()
+		mq.Submit(p, blockmq.OpWrite, 0, 8192, 0, func(err error) { c1.Complete(nil, err) })
+		p.Await(c1)
+		c2 := eng.NewCompletion()
+		mq.Submit(p, blockmq.OpRead, 0, 8192, 1, func(err error) { c2.Complete(nil, err) })
+		if _, err := p.Await(c2); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		// Reset and verify the zone is reusable.
+		c3 := eng.NewCompletion()
+		drv.ResetZone(0, func(err error) { c3.Complete(nil, err) })
+		if _, err := p.Await(c3); err != nil {
+			t.Errorf("reset: %v", err)
+		}
+		c4 := eng.NewCompletion()
+		mq.Submit(p, blockmq.OpWrite, 0, 4096, 0, func(err error) { c4.Complete(nil, err) })
+		if _, err := p.Await(c4); err != nil {
+			t.Errorf("write after reset: %v", err)
+		}
+	})
+	eng.Run()
+	if r, w, e := drv.Stats(); r != 1 || w != 2 || e != 0 {
+		t.Fatalf("stats r=%d w=%d e=%d", r, w, e)
+	}
+}
+
+func TestZonedAppendWait(t *testing.T) {
+	eng, _, drv := newZonedStack(t)
+	var offs []int64
+	eng.Spawn("appender", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			off, err := drv.AppendWait(p, 2, 4096)
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			offs = append(offs, off)
+		}
+	})
+	eng.Run()
+	if len(offs) != 3 {
+		t.Fatalf("appends = %d", len(offs))
+	}
+	base := int64(2) << 20
+	for i, off := range offs {
+		if off != base+int64(i)*4096 {
+			t.Fatalf("append offsets not contiguous: %v", offs)
+		}
+	}
+	// Appends consume virtual time (the write service cost).
+	if eng.Now() == 0 {
+		t.Fatal("appends were free")
+	}
+}

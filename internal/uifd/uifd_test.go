@@ -1,0 +1,220 @@
+package uifd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/blockmq"
+	"repro/internal/qdma"
+	"repro/internal/sim"
+)
+
+// fakeBackend completes card processing after a fixed delay.
+type fakeBackend struct {
+	eng   *sim.Engine
+	delay sim.Duration
+	seen  []CardRequest
+	err   error
+}
+
+func (b *fakeBackend) Process(req CardRequest, done func(err error)) {
+	b.seen = append(b.seen, req)
+	b.eng.Schedule(b.delay, func() { done(b.err) })
+}
+
+func newStackT(t *testing.T, hwQueues int) (*sim.Engine, *blockmq.MQ, *Driver, *fakeBackend) {
+	t.Helper()
+	eng := sim.NewEngine()
+	qe := qdma.New(eng, qdma.DefaultConfig())
+	be := &fakeBackend{eng: eng, delay: 20 * sim.Microsecond}
+	drv, err := NewDriver(eng, qe, be, Config{HWQueues: hwQueues, Queue: qdma.ReplicationQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := blockmq.New(eng, blockmq.Config{
+		CPUs: hwQueues, HWQueues: hwQueues, TagsPerHW: 16, Bypass: true,
+	}, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mq, drv, be
+}
+
+func TestWritePath(t *testing.T) {
+	eng, mq, drv, be := newStackT(t, 2)
+	var done sim.Time
+	eng.Spawn("io", func(p *sim.Proc) {
+		mq.Submit(p, blockmq.OpWrite, 4096, 4096, 0, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done = eng.Now()
+		})
+	})
+	eng.Run()
+	if done == 0 {
+		t.Fatal("write never completed")
+	}
+	if len(be.seen) != 1 || be.seen[0].Op != blockmq.OpWrite || be.seen[0].Len != 4096 {
+		t.Fatalf("backend saw %+v", be.seen)
+	}
+	if r, w := drv.Stats(); r != 0 || w != 1 {
+		t.Fatalf("stats r=%d w=%d", r, w)
+	}
+	// End-to-end must include the backend delay plus two DMA crossings.
+	if sim.Duration(done) < 20*sim.Microsecond {
+		t.Fatalf("completed too fast: %v", done)
+	}
+}
+
+func TestReadPathMovesPayloadC2H(t *testing.T) {
+	// A read's H2C is command-only, so a large read must spend its DMA
+	// time on the C2H side; compare against a same-size write.
+	measure := func(op blockmq.OpType) sim.Duration {
+		eng, mq, _, _ := newStackT(t, 1)
+		var done sim.Time
+		eng.Spawn("io", func(p *sim.Proc) {
+			mq.Submit(p, op, 0, 1<<20, 0, func(error) { done = eng.Now() })
+		})
+		eng.Run()
+		return sim.Duration(done)
+	}
+	r := measure(blockmq.OpRead)
+	w := measure(blockmq.OpWrite)
+	diff := r - w
+	if diff < 0 {
+		diff = -diff
+	}
+	// Both move 1 MiB exactly once across PCIe: times should be close.
+	if diff > r/4 {
+		t.Fatalf("read %v vs write %v: asymmetric payload movement", r, w)
+	}
+}
+
+func TestBackendErrorPropagates(t *testing.T) {
+	eng, mq, _, be := newStackT(t, 1)
+	be.err = errors.New("osd down")
+	var got error
+	eng.Spawn("io", func(p *sim.Proc) {
+		mq.Submit(p, blockmq.OpWrite, 0, 512, 0, func(err error) { got = err })
+	})
+	eng.Run()
+	if got == nil || got.Error() != "osd down" {
+		t.Fatalf("err = %v", got)
+	}
+}
+
+func TestPerHctxQueueSets(t *testing.T) {
+	eng, mq, drv, _ := newStackT(t, 4)
+	if len(drv.QueueSets()) != 4 {
+		t.Fatalf("queue sets = %d", len(drv.QueueSets()))
+	}
+	eng.Spawn("io", func(p *sim.Proc) {
+		for cpu := 0; cpu < 4; cpu++ {
+			mq.Submit(p, blockmq.OpWrite, int64(cpu)*4096, 4096, cpu, nil)
+		}
+	})
+	eng.Run()
+	// Each hctx's queue set must have seen exactly one completion pair.
+	for i, qs := range drv.QueueSets() {
+		if qs.Completions() != 2 { // one H2C + one C2H
+			t.Fatalf("queue set %d completions = %d, want 2", i, qs.Completions())
+		}
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	qe := qdma.New(eng, qdma.DefaultConfig())
+	if _, err := NewDriver(eng, qe, nil, Config{HWQueues: 1}); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	be := &fakeBackend{eng: eng}
+	if _, err := NewDriver(eng, qe, be, Config{HWQueues: 0}); err == nil {
+		t.Fatal("zero queues accepted")
+	}
+}
+
+func TestTenancyIsolation(t *testing.T) {
+	eng := sim.NewEngine()
+	qe := qdma.New(eng, qdma.DefaultConfig())
+	ten := NewTenancy(eng, qe)
+	be := &fakeBackend{eng: eng, delay: sim.Microsecond}
+	pf, err := ten.AddTenant(BareMetal, 2, qdma.ReplicationQueue, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := ten.AddTenant(VirtualMachine, 2, qdma.ErasureQueue, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ten.Tenants()) != 2 {
+		t.Fatal("tenant count wrong")
+	}
+	if pf.Function().Kind != qdma.PF || vf.Function().Kind != qdma.VF {
+		t.Fatal("function kinds wrong")
+	}
+	// Each tenant's requests carry its tenant id.
+	mqPF, _ := blockmq.New(eng, blockmq.Config{CPUs: 2, HWQueues: 2, TagsPerHW: 4, Bypass: true}, pf)
+	mqVF, _ := blockmq.New(eng, blockmq.Config{CPUs: 2, HWQueues: 2, TagsPerHW: 4, Bypass: true}, vf)
+	eng.Spawn("io", func(p *sim.Proc) {
+		mqPF.Submit(p, blockmq.OpWrite, 0, 512, 0, nil)
+		mqVF.Submit(p, blockmq.OpWrite, 0, 512, 0, nil)
+	})
+	eng.Run()
+	tenants := map[int]bool{}
+	for _, r := range be.seen {
+		tenants[r.Tenant] = true
+	}
+	if !tenants[0] || !tenants[1] {
+		t.Fatalf("tenant ids seen: %v", tenants)
+	}
+}
+
+func TestCMACOnlyPath(t *testing.T) {
+	eng := sim.NewEngine()
+	qe := qdma.New(eng, qdma.DefaultConfig())
+	be := &fakeBackend{eng: eng, delay: sim.Microsecond}
+	drv, err := NewDriver(eng, qe, be, Config{HWQueues: 1, CMACOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, _ := blockmq.New(eng, blockmq.Config{CPUs: 1, HWQueues: 1, TagsPerHW: 4, Bypass: true}, drv)
+	var done bool
+	eng.Spawn("io", func(p *sim.Proc) {
+		mq.Submit(p, blockmq.OpWrite, 0, 64, 0, func(err error) { done = err == nil })
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("CMAC-only op did not complete")
+	}
+	// No QDMA transfers should have occurred.
+	tr, _, _ := qe.Stats()
+	if tr != 0 {
+		t.Fatalf("CMAC-only path used QDMA %d times", tr)
+	}
+}
+
+func TestRingFullReportsBusy(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := qdma.DefaultConfig()
+	cfg.RingDepth = 1
+	qe := qdma.New(eng, cfg)
+	be := &fakeBackend{eng: eng, delay: sim.Millisecond}
+	drv, err := NewDriver(eng, qe, be, Config{HWQueues: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the driver directly (no MQ) to observe the busy signal.
+	req1 := &blockmq.Request{Op: blockmq.OpWrite, Len: 64}
+	req2 := &blockmq.Request{Op: blockmq.OpWrite, Len: 64}
+	if !drv.QueueRq(0, req1) {
+		t.Fatal("first request rejected")
+	}
+	if drv.QueueRq(0, req2) {
+		t.Fatal("second request accepted despite full ring")
+	}
+	if drv.QueueRq(99, req2) {
+		t.Fatal("bad hctx accepted")
+	}
+}

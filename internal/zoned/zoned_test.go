@@ -1,0 +1,422 @@
+package zoned
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newZNS(t *testing.T, zones int) *Device {
+	t.Helper()
+	d, err := New(ZNSConfig(zones))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometry(t *testing.T) {
+	d := newZNS(t, 8)
+	if d.Zones() != 8 || d.Size() != 8*(64<<20) {
+		t.Fatalf("geometry: zones=%d size=%d", d.Zones(), d.Size())
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Zones: 2, ZoneBytes: 1024, ConvZones: 3}); err == nil {
+		t.Fatal("conv > zones accepted")
+	}
+	if _, err := d.Zone(8); err != ErrOutOfRange {
+		t.Fatal("zone range unchecked")
+	}
+	if _, err := d.ZoneOf(d.Size()); err != ErrOutOfRange {
+		t.Fatal("offset range unchecked")
+	}
+}
+
+func TestSequentialWriteContract(t *testing.T) {
+	d := newZNS(t, 4)
+	z, _ := d.Zone(0)
+	// First write at WP=0 succeeds.
+	if err := d.Write(z.Start, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if z.WP != 4096 || z.State != ImplicitOpen {
+		t.Fatalf("after write: wp=%d state=%v", z.WP, z.State)
+	}
+	// Write not at WP fails.
+	if err := d.Write(z.Start, 4096); err != ErrNotWritePointer {
+		t.Fatalf("rewind write err = %v", err)
+	}
+	if err := d.Write(z.Start+8192, 4096); err != ErrNotWritePointer {
+		t.Fatalf("skip write err = %v", err)
+	}
+	// At WP succeeds.
+	if err := d.Write(z.Start+4096, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing the boundary fails.
+	if err := d.Write(z.Start+z.Cap-1024, 4096); err != ErrZoneBoundary {
+		t.Fatalf("boundary err = %v", err)
+	}
+}
+
+func TestConventionalZoneRandomWrites(t *testing.T) {
+	d, err := New(SMRConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := d.Zone(0)
+	if z.Type != Conventional {
+		t.Fatal("SMR zone 0 should be conventional")
+	}
+	// Random offsets allowed.
+	for _, off := range []int64{4096, 0, 1 << 20, 512} {
+		if err := d.Write(z.Start+off, 4096); err != nil {
+			t.Fatalf("conventional write at %d: %v", off, err)
+		}
+	}
+	// Sequential zone in the same device still enforces the contract.
+	seq, _ := d.Zone(d.cfg.ConvZones)
+	if err := d.Write(seq.Start+4096, 512); err != ErrNotWritePointer {
+		t.Fatalf("seq zone err = %v", err)
+	}
+}
+
+func TestZoneFillAndFull(t *testing.T) {
+	d, _ := New(Config{ZoneBytes: 16384, Zones: 2, MaxOpenZones: 2})
+	z, _ := d.Zone(0)
+	for i := 0; i < 4; i++ {
+		if err := d.Write(z.Start+int64(i)*4096, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if z.State != Full || z.WP != z.Cap {
+		t.Fatalf("zone not full: %v wp=%d", z.State, z.WP)
+	}
+	if err := d.Write(z.Start, 4096); err == nil {
+		t.Fatal("write to full zone accepted")
+	}
+	if d.OpenZones() != 0 {
+		t.Fatalf("open zones = %d after fill", d.OpenZones())
+	}
+}
+
+func TestAppendReturnsAllocationOffset(t *testing.T) {
+	d := newZNS(t, 2)
+	off1, err := d.Append(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := d.Append(1, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := d.Zone(1)
+	if off1 != z.Start || off2 != z.Start+4096 {
+		t.Fatalf("append offsets %d %d", off1, off2)
+	}
+	if z.WP != 12288 {
+		t.Fatalf("wp = %d", z.WP)
+	}
+	if _, err := d.Append(0, int(z.Cap)+1); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}
+
+func TestReadBelowWritePointer(t *testing.T) {
+	d := newZNS(t, 2)
+	z, _ := d.Zone(0)
+	d.Write(z.Start, 8192)
+	if err := d.Read(z.Start, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(z.Start+4096, 8192); err != ErrReadUnwritten {
+		t.Fatalf("read past wp err = %v", err)
+	}
+	if err := d.Read(z.Start+z.Cap-512, 1024); err != ErrZoneBoundary {
+		t.Fatalf("cross-boundary read err = %v", err)
+	}
+}
+
+func TestOpenZoneLimitWithImplicitClose(t *testing.T) {
+	d, _ := New(Config{ZoneBytes: 1 << 20, Zones: 8, MaxOpenZones: 2})
+	// Open 3 zones by writing; the device implicitly closes one.
+	for i := 0; i < 3; i++ {
+		z, _ := d.Zone(i)
+		if err := d.Write(z.Start, 4096); err != nil {
+			t.Fatalf("zone %d: %v", i, err)
+		}
+	}
+	if d.OpenZones() != 2 {
+		t.Fatalf("open = %d, want 2", d.OpenZones())
+	}
+	// The closed zone is still writable at its WP (reopens).
+	z0, _ := d.Zone(0)
+	if z0.State == ImplicitOpen {
+		t.Skip("implementation closed a different zone")
+	}
+	if err := d.Write(z0.Start+4096, 4096); err != nil {
+		t.Fatalf("reopen write: %v", err)
+	}
+}
+
+func TestActiveZoneLimit(t *testing.T) {
+	d, _ := New(Config{ZoneBytes: 1 << 20, Zones: 8, MaxOpenZones: 2, MaxActiveZones: 2})
+	for i := 0; i < 2; i++ {
+		z, _ := d.Zone(i)
+		if err := d.Write(z.Start, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third empty zone: open limit could evict, but active limit blocks.
+	z2, _ := d.Zone(2)
+	if err := d.Write(z2.Start, 512); err != ErrTooManyOpen {
+		t.Fatalf("active-limit err = %v", err)
+	}
+	// Resetting one frees an active slot.
+	if err := d.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(z2.Start, 512); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+func TestExplicitOpenCloseFinish(t *testing.T) {
+	d := newZNS(t, 4)
+	if err := d.Open(2); err != nil {
+		t.Fatal(err)
+	}
+	z, _ := d.Zone(2)
+	if z.State != ExplicitOpen || d.OpenZones() != 1 {
+		t.Fatalf("state=%v open=%d", z.State, d.OpenZones())
+	}
+	if err := d.Close(2); err != nil {
+		t.Fatal(err)
+	}
+	if z.State != Closed || d.OpenZones() != 0 {
+		t.Fatalf("after close: %v open=%d", z.State, d.OpenZones())
+	}
+	if err := d.Close(2); err != nil {
+		t.Fatal("closing closed zone should be idempotent")
+	}
+	if err := d.Finish(2); err != nil {
+		t.Fatal(err)
+	}
+	if z.State != Full || z.WP != z.Cap {
+		t.Fatalf("after finish: %v wp=%d", z.State, z.WP)
+	}
+	if err := d.Finish(2); err != nil {
+		t.Fatal("finishing full zone should be idempotent")
+	}
+	// Close on an empty zone errors.
+	if err := d.Close(3); err == nil {
+		t.Fatal("close on empty accepted")
+	}
+}
+
+func TestResetLifecycle(t *testing.T) {
+	d := newZNS(t, 2)
+	z, _ := d.Zone(0)
+	d.Write(z.Start, 4096)
+	if err := d.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if z.State != Empty || z.WP != 0 || z.Resets() != 1 {
+		t.Fatalf("after reset: %v wp=%d resets=%d", z.State, z.WP, z.Resets())
+	}
+	if d.OpenZones() != 0 {
+		t.Fatal("open count leaked")
+	}
+	// Zone is writable from the start again.
+	if err := d.Write(z.Start, 4096); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, resets := d.Stats()
+	if resets != 1 {
+		t.Fatalf("reset stat = %d", resets)
+	}
+}
+
+func TestConventionalZoneCommandsRejected(t *testing.T) {
+	d, _ := New(SMRConfig(200))
+	if err := d.Reset(0); err == nil {
+		t.Fatal("reset on conventional accepted")
+	}
+	if err := d.Open(0); err == nil {
+		t.Fatal("open on conventional accepted")
+	}
+	if err := d.Finish(0); err == nil {
+		t.Fatal("finish on conventional accepted")
+	}
+	if _, err := d.Append(0, 512); err == nil {
+		t.Fatal("append on conventional accepted")
+	}
+}
+
+func TestReportZones(t *testing.T) {
+	d := newZNS(t, 3)
+	d.Write(64<<20, 4096) // zone 1
+	rep := d.ReportZones()
+	if len(rep) != 3 {
+		t.Fatalf("report len = %d", len(rep))
+	}
+	if rep[1].WP != 4096 || rep[1].State != ImplicitOpen {
+		t.Fatalf("zone 1 report: %+v", rep[1])
+	}
+	if rep[0].WP != 0 || rep[0].State != Empty {
+		t.Fatalf("zone 0 report: %+v", rep[0])
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	d := newZNS(t, 4)
+	for i := 0; i < 4; i++ {
+		z, _ := d.Zone(i)
+		d.Write(z.Start, 4096)
+	}
+	d.ResetAll()
+	for _, r := range d.ReportZones() {
+		if r.State != Empty || r.WP != 0 {
+			t.Fatalf("zone %d not reset: %+v", r.Index, r)
+		}
+	}
+}
+
+// Property: any sequence of appends into one zone yields strictly
+// increasing, contiguous offsets until the zone fills, and WP always equals
+// the sum of accepted lengths.
+func TestAppendContiguityProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d, err := New(Config{ZoneBytes: 1 << 20, Zones: 1, MaxOpenZones: 1})
+		if err != nil {
+			return false
+		}
+		z, _ := d.Zone(0)
+		var expect int64
+		for _, s := range sizes {
+			n := int(s%8192) + 1
+			off, err := d.Append(0, n)
+			if err != nil {
+				// Only acceptable failure: zone full.
+				return err == ErrZoneFull || z.WP+int64(n) > z.Cap
+			}
+			if off != z.Start+expect {
+				return false
+			}
+			expect += int64(n)
+			if z.WP != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: open+active accounting never goes negative or exceeds limits
+// under random command sequences.
+func TestResourceAccountingProperty(t *testing.T) {
+	f := func(cmds []uint8) bool {
+		d, err := New(Config{ZoneBytes: 64 << 10, Zones: 6, MaxOpenZones: 3, MaxActiveZones: 5})
+		if err != nil {
+			return false
+		}
+		for _, c := range cmds {
+			zone := int(c>>4) % 6
+			z, _ := d.Zone(zone)
+			switch c % 5 {
+			case 0:
+				d.Write(z.Start+z.WP, 4096)
+			case 1:
+				d.Open(zone)
+			case 2:
+				d.Close(zone)
+			case 3:
+				d.Finish(zone)
+			case 4:
+				d.Reset(zone)
+			}
+			if d.openCount < 0 || d.activeCount < 0 {
+				return false
+			}
+			if d.cfg.MaxOpenZones > 0 && d.openCount > d.cfg.MaxOpenZones {
+				return false
+			}
+			// Recount from scratch; cached counters must agree.
+			open, active := 0, 0
+			for _, rz := range d.zones {
+				switch rz.State {
+				case ImplicitOpen, ExplicitOpen:
+					open++
+					active++
+				case Closed:
+					active++
+				}
+			}
+			if open != d.openCount || active != d.activeCount {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceModelTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newZNS(t, 2)
+	m := NewServiceModel(eng, d)
+	var writeDone, resetDone sim.Time
+	m.SubmitWrite(0, 4096, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		writeDone = eng.Now()
+	})
+	eng.Run()
+	if sim.Duration(writeDone) < m.WriteBase {
+		t.Fatalf("write too fast: %v", writeDone)
+	}
+	m.SubmitReset(0, func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		resetDone = eng.Now()
+	})
+	eng.Run()
+	if resetDone.Sub(writeDone) < m.ResetCost {
+		t.Fatalf("reset too fast: %v", resetDone.Sub(writeDone))
+	}
+	// A failing op still reports through the timed path.
+	var gotErr error
+	m.SubmitWrite(4096+512, 4096, func(err error) { gotErr = err })
+	eng.Run()
+	if gotErr != ErrNotWritePointer {
+		t.Fatalf("err = %v", gotErr)
+	}
+	// Reads validate against the write pointer: write zone 1 then read it.
+	var readDone bool
+	m.SubmitWrite(64<<20, 4096, func(err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.SubmitRead(64<<20, 4096, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			readDone = true
+		})
+	})
+	eng.Run()
+	if !readDone {
+		t.Fatal("read never completed")
+	}
+}
