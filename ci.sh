@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repo's tier-1 gate. Runs the full static + test + benchmark
+# smoke suite; exits non-zero on the first failure.
+#
+#   ./ci.sh          # vet, build, race tests, benchmark smoke
+#   ./ci.sh -short   # skip the benchmark smoke pass
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${1:-}" != "-short" ]; then
+    # One iteration of every benchmark with allocation counts: catches
+    # bit-rot in the perf harness and regressions in the zero-alloc
+    # invariants without a full measurement run.
+    echo "== benchmark smoke (-benchtime=1x) =="
+    go test -run '^$' -bench . -benchtime=1x -benchmem ./...
+fi
+
+echo "== delibabench self-test =="
+go run ./cmd/delibabench -selftest -iters 3
+
+echo "CI OK"

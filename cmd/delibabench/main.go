@@ -5,9 +5,15 @@
 // Usage:
 //
 //	delibabench [-quick] [-only fig3,fig6,tab2,...]
+//	delibabench -selftest [-iters n]
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu
+//
+// -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
+// and checking that every run produces a bit-identical result digest. It is
+// the wall-clock yardstick for hot-path work: the simulation must get
+// faster without its output changing by a single bit.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -23,7 +30,17 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	selftest := flag.Bool("selftest", false, "run the wall-clock/determinism self-test")
+	iters := flag.Int("iters", 20, "self-test iterations")
 	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*iters); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Full()
 	if *quick {
@@ -41,6 +58,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "delibabench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSelftest times iters runs of the quick Fig. 3 grid and verifies every
+// run digests identically.
+func runSelftest(iters int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	cfg := experiments.Quick()
+	var digest uint64
+	var total, min time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		total += el
+		if min == 0 || el < min {
+			min = el
+		}
+		d := res.Digest()
+		if i == 0 {
+			digest = d
+		} else if d != digest {
+			return fmt.Errorf("selftest: iteration %d digest %016x != %016x — simulation is nondeterministic", i, d, digest)
+		}
+	}
+	fmt.Printf("selftest: %d x fig3(quick) deterministic, digest %016x\n", iters, digest)
+	fmt.Printf("selftest: wall-clock mean %.1f ms/iter, best %.1f ms\n",
+		float64(total.Microseconds())/float64(iters)/1e3,
+		float64(min.Microseconds())/1e3)
+	return nil
 }
 
 func printTables(tabs ...*metrics.Table) {

@@ -34,6 +34,21 @@ type cardBackend struct {
 	pipeNextFree sim.Time
 }
 
+// join invokes done(first error) after n sub-operations complete.
+func join(eng *sim.Engine, n int, done func(error)) func(error) {
+	remaining := n
+	var firstErr error
+	return func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+}
+
 // reservePipe books the card pipeline FSM for cost, returning the wait
 // until this I/O's slot completes.
 func (cb *cardBackend) reservePipe(cost sim.Duration) sim.Duration {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/crush"
 	"repro/internal/netsim"
 	"repro/internal/rados"
-	"repro/internal/sim"
 )
 
 // Fanout issues object operations from a client-side endpoint directly to
@@ -14,39 +13,126 @@ import (
 // (rados.Client), there is no primary-copy hop: the client (host CPU for
 // DeLiBA-1, FPGA card for DeLiBA-2/-K) replicates or shards itself and
 // talks to every OSD in parallel.
+//
+// The issue paths are allocation-free in steady state: per-operation state
+// lives in pooled op structs whose callback closures are bound once at
+// construction, acting-set filtering reuses a scratch slice, and EC shard
+// keys are built with the rados append-style builders. Like the engine it
+// feeds, a Fanout is single-threaded; its freelists and scratch buffers
+// are unsynchronised on purpose.
 type Fanout struct {
 	Cluster *rados.Cluster
 	From    *netsim.Host
-}
 
-// errOf converts a rados.Result to an error.
-func errOf(r rados.Result) error { return r.Err }
+	up       []int // scratch: up members of the current acting set
+	replFree []*replOp
+	readFree []*readOp
+	ecwFree  []*ecWriteOp
+	ecrFree  []*ecReadOp
+}
 
 // zeroPool avoids per-op payload allocation on the timing-only fan-out
-// paths (stores only use the length).
+// paths (stores only use the length). zeros hands out overlapping views of
+// this one backing array, so the payload contract on rados.ObjectStore is
+// load-bearing here: stores must treat written payloads as read-only and
+// must not retain them (see store.go); a store that scribbled on a zeros()
+// view would corrupt every concurrent fan-out write sharing the pool.
 var zeroPool = make([]byte, 1<<20)
 
-// zeros returns an n-byte zero slice, shared when it fits the pool.
+// zeros returns an n-byte zero slice, shared when it fits the pool; larger
+// requests grow the pool (amortised) so repeated jumbo ops stay alloc-free.
 func zeros(n int) []byte {
-	if n <= len(zeroPool) {
-		return zeroPool[:n]
+	if n > len(zeroPool) {
+		zeroPool = make([]byte, n)
 	}
-	return make([]byte, n)
+	return zeroPool[:n]
 }
 
-// join invokes done(first error) after n sub-operations complete.
-func join(eng *sim.Engine, n int, done func(error)) func(error) {
-	remaining := n
-	var firstErr error
-	return func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
+// --- replicated write --------------------------------------------------
+
+// replOp is the in-flight state of one replicated fan-out write. Ops are
+// pooled on the Fanout; each holds its own pooled targets whose closures
+// were bound to the target struct once, so reissue costs no allocation.
+type replOp struct {
+	f         *Fanout
+	opts      rados.ReqOpts
+	obj       string
+	off, n    int
+	remaining int
+	firstErr  error
+	done      func(error)
+	targets   []*replTarget
+}
+
+// replTarget is one replica destination of a replOp. send fires on fabric
+// arrival at the OSD's node, onResult when the OSD completes, ack when the
+// ack hops back to the client.
+type replTarget struct {
+	op   *replOp
+	osd  int
+	node *netsim.Host
+	err  error
+
+	send     func()
+	onResult func(rados.Result)
+	ack      func()
+}
+
+// target returns the i-th pooled target, growing the pool on first use.
+func (op *replOp) target(i int) *replTarget {
+	for len(op.targets) <= i {
+		t := &replTarget{op: op}
+		t.send = func() {
+			o := t.op
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpWrite, o.obj, o.off, zeros(o.n), 0, t.onResult)
 		}
-		remaining--
-		if remaining == 0 {
-			done(firstErr)
+		t.onResult = func(r rados.Result) {
+			t.err = r.Err
+			o := t.op
+			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes, t.ack)
+		}
+		t.ack = func() { t.op.finish(t.err) }
+		op.targets = append(op.targets, t)
+	}
+	return op.targets[i]
+}
+
+// finish accounts one completed replica; the last one recycles the op and
+// then invokes done (in that order — done may immediately issue a new op
+// that reuses this struct).
+func (op *replOp) finish(err error) {
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.remaining--
+	if op.remaining == 0 {
+		done, ferr := op.done, op.firstErr
+		op.done, op.firstErr, op.obj = nil, nil, ""
+		op.f.replFree = append(op.f.replFree, op)
+		done(ferr)
+	}
+}
+
+func (f *Fanout) getRepl() *replOp {
+	if n := len(f.replFree); n > 0 {
+		op := f.replFree[n-1]
+		f.replFree[n-1] = nil
+		f.replFree = f.replFree[:n-1]
+		return op
+	}
+	return &replOp{f: f}
+}
+
+// upSet filters the acting set's up members into the scratch slice.
+func (f *Fanout) upSet(acting []int) []int {
+	c := f.Cluster
+	f.up = f.up[:0]
+	for _, o := range acting {
+		if o != crush.ItemNone && c.OSDs[o].Up() {
+			f.up = append(f.up, o)
 		}
 	}
+	return f.up
 }
 
 // WriteReplicated sends n bytes to every up member of the object's acting
@@ -58,26 +144,62 @@ func (f *Fanout) WriteReplicated(pool *rados.Pool, obj string, off, n int, opts 
 		done(err)
 		return
 	}
-	var up []int
-	for _, o := range acting {
-		if o != crush.ItemNone && c.OSDs[o].Up() {
-			up = append(up, o)
-		}
-	}
+	up := f.upSet(acting)
 	if len(up) == 0 {
 		done(fmt.Errorf("core: pg for %q has no up replicas", obj))
 		return
 	}
-	sub := join(c.Eng, len(up), done)
-	for _, o := range up {
-		o := o
-		node := c.NodeOf(o)
-		c.Fabric.Send(f.From, node, rados.HdrBytes+n, func() {
-			c.OSDs[o].SubmitOpts(opts, rados.OpWrite, obj, off, zeros(n), 0, func(r rados.Result) {
-				c.Fabric.Send(node, f.From, rados.HdrBytes, func() { sub(errOf(r)) })
-			})
-		})
+	op := f.getRepl()
+	op.opts, op.obj, op.off, op.n = opts, obj, off, n
+	op.remaining, op.firstErr, op.done = len(up), nil, done
+	for i, o := range up {
+		t := op.target(i)
+		t.osd, t.node, t.err = o, c.NodeOf(o), nil
+		c.Fabric.Send(f.From, t.node, rados.HdrBytes+n, t.send)
 	}
+}
+
+// --- replicated read ---------------------------------------------------
+
+// readOp is the in-flight state of one primary read.
+type readOp struct {
+	f    *Fanout
+	opts rados.ReqOpts
+	obj  string
+	off  int
+	n    int
+	osd  int
+	node *netsim.Host
+	err  error
+	done func(error)
+
+	send     func()
+	onResult func(rados.Result)
+	ack      func()
+}
+
+func (f *Fanout) getRead() *readOp {
+	if n := len(f.readFree); n > 0 {
+		op := f.readFree[n-1]
+		f.readFree[n-1] = nil
+		f.readFree = f.readFree[:n-1]
+		return op
+	}
+	op := &readOp{f: f}
+	op.send = func() {
+		op.f.Cluster.OSDs[op.osd].SubmitOpts(op.opts, rados.OpRead, op.obj, op.off, nil, op.n, op.onResult)
+	}
+	op.onResult = func(r rados.Result) {
+		op.err = r.Err
+		op.f.Cluster.Fabric.Send(op.node, op.f.From, rados.HdrBytes+op.n, op.ack)
+	}
+	op.ack = func() {
+		done, err := op.done, op.err
+		op.done, op.err, op.obj = nil, nil, ""
+		op.f.readFree = append(op.f.readFree, op)
+		done(err)
+	}
+	return op
 }
 
 // ReadReplicated fetches n bytes from the acting primary.
@@ -93,12 +215,83 @@ func (f *Fanout) ReadReplicated(pool *rados.Pool, obj string, off, n int, opts r
 		done(fmt.Errorf("core: pg for %q has no up replicas", obj))
 		return
 	}
-	node := c.NodeOf(primary)
-	c.Fabric.Send(f.From, node, rados.HdrBytes, func() {
-		c.OSDs[primary].SubmitOpts(opts, rados.OpRead, obj, off, nil, n, func(r rados.Result) {
-			c.Fabric.Send(node, f.From, rados.HdrBytes+n, func() { done(errOf(r)) })
-		})
-	})
+	op := f.getRead()
+	op.opts, op.obj, op.off, op.n = opts, obj, off, n
+	op.osd, op.node, op.err, op.done = primary, c.NodeOf(primary), nil, done
+	c.Fabric.Send(f.From, op.node, rados.HdrBytes, op.send)
+}
+
+// --- EC write ----------------------------------------------------------
+
+// ecWriteOp is the in-flight state of one EC stripe write.
+type ecWriteOp struct {
+	f         *Fanout
+	opts      rados.ReqOpts
+	shardSize int
+	remaining int
+	firstErr  error
+	done      func(error)
+	targets   []*ecTarget
+}
+
+// ecTarget is one shard destination. key is rebuilt into keyBuf per issue;
+// the string conversion at the store boundary is the EC path's one
+// remaining per-shard allocation.
+type ecTarget struct {
+	op     *ecWriteOp
+	osd    int
+	node   *netsim.Host
+	key    string
+	keyBuf []byte
+	err    error
+
+	send     func()
+	onResult func(rados.Result)
+	ack      func()
+}
+
+func (op *ecWriteOp) target(i int) *ecTarget {
+	for len(op.targets) <= i {
+		t := &ecTarget{op: op}
+		t.send = func() {
+			o := t.op
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpWrite, t.key, 0, zeros(o.shardSize), 0, t.onResult)
+		}
+		t.onResult = func(r rados.Result) {
+			t.err = r.Err
+			o := t.op
+			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes, t.ack)
+		}
+		t.ack = func() { t.op.finish(t.err) }
+		op.targets = append(op.targets, t)
+	}
+	return op.targets[i]
+}
+
+func (op *ecWriteOp) finish(err error) {
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.remaining--
+	if op.remaining == 0 {
+		done, ferr := op.done, op.firstErr
+		op.done, op.firstErr = nil, nil
+		for _, t := range op.targets {
+			t.key = ""
+		}
+		op.f.ecwFree = append(op.f.ecwFree, op)
+		done(ferr)
+	}
+}
+
+func (f *Fanout) getECWrite() *ecWriteOp {
+	if n := len(f.ecwFree); n > 0 {
+		op := f.ecwFree[n-1]
+		f.ecwFree[n-1] = nil
+		f.ecwFree = f.ecwFree[:n-1]
+		return op
+	}
+	return &ecWriteOp{f: f}
 }
 
 // WriteEC sends one shard of size ceil(n/k) to each up acting rank in
@@ -115,30 +308,102 @@ func (f *Fanout) WriteEC(pool *rados.Pool, obj string, off, n int, opts rados.Re
 		return
 	}
 	shardSize := (n + pool.K - 1) / pool.K
-	var targets []int
+	upCount := 0
 	for _, o := range acting {
 		if o != crush.ItemNone && c.OSDs[o].Up() {
-			targets = append(targets, o)
+			upCount++
 		}
 	}
-	if len(targets) < pool.K {
-		done(fmt.Errorf("core: pg for %q has %d up shards, need >= %d", obj, len(targets), pool.K))
+	if upCount < pool.K {
+		done(fmt.Errorf("core: pg for %q has %d up shards, need >= %d", obj, upCount, pool.K))
 		return
 	}
-	sub := join(c.Eng, len(targets), done)
+	op := f.getECWrite()
+	op.opts, op.shardSize = opts, shardSize
+	op.remaining, op.firstErr, op.done = upCount, nil, done
+	i := 0
 	for rank, o := range acting {
 		if o == crush.ItemNone || !c.OSDs[o].Up() {
 			continue
 		}
-		o := o
-		key := fmt.Sprintf("%s:%d.s%d", obj, off, rank)
-		node := c.NodeOf(o)
-		c.Fabric.Send(f.From, node, rados.HdrBytes+shardSize, func() {
-			c.OSDs[o].SubmitOpts(opts, rados.OpWrite, key, 0, zeros(shardSize), 0, func(r rados.Result) {
-				c.Fabric.Send(node, f.From, rados.HdrBytes, func() { sub(errOf(r)) })
-			})
-		})
+		t := op.target(i)
+		i++
+		t.keyBuf = rados.AppendShardKey(t.keyBuf[:0], obj, off, rank)
+		t.key = string(t.keyBuf)
+		t.osd, t.node, t.err = o, c.NodeOf(o), nil
+		c.Fabric.Send(f.From, t.node, rados.HdrBytes+shardSize, t.send)
 	}
+}
+
+// --- EC read -----------------------------------------------------------
+
+// ecReadOp is the in-flight state of one EC stripe read (k-shard gather).
+type ecReadOp struct {
+	f          *Fanout
+	opts       rados.ReqOpts
+	shardSize  int
+	remaining  int
+	needDecode bool
+	firstErr   error
+	done       func(needDecode bool, err error)
+	targets    []*ecReadTarget
+}
+
+type ecReadTarget struct {
+	op     *ecReadOp
+	osd    int
+	node   *netsim.Host
+	key    string
+	keyBuf []byte
+	err    error
+
+	send     func()
+	onResult func(rados.Result)
+	ack      func()
+}
+
+func (op *ecReadOp) target(i int) *ecReadTarget {
+	for len(op.targets) <= i {
+		t := &ecReadTarget{op: op}
+		t.send = func() {
+			o := t.op
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpRead, t.key, 0, nil, o.shardSize, t.onResult)
+		}
+		t.onResult = func(r rados.Result) {
+			t.err = r.Err
+			o := t.op
+			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes+o.shardSize, t.ack)
+		}
+		t.ack = func() { t.op.finish(t.err) }
+		op.targets = append(op.targets, t)
+	}
+	return op.targets[i]
+}
+
+func (op *ecReadOp) finish(err error) {
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.remaining--
+	if op.remaining == 0 {
+		done, ferr, nd := op.done, op.firstErr, op.needDecode
+		op.done, op.firstErr = nil, nil
+		for _, t := range op.targets {
+			t.key = ""
+		}
+		op.f.ecrFree = append(op.f.ecrFree, op)
+		done(nd, ferr)
+	}
+}
+
+func (f *Fanout) getECRead() *ecReadOp {
+	if n := len(f.ecrFree); n > 0 {
+		op := f.ecrFree[n-1]
+		f.ecrFree[n-1] = nil
+		f.ecrFree = f.ecrFree[:n-1]
+		return op
+	}
+	return &ecReadOp{f: f}
 }
 
 // ReadEC gathers k shards in parallel (data ranks preferred) and completes
@@ -156,32 +421,40 @@ func (f *Fanout) ReadEC(pool *rados.Pool, obj string, off, n int, opts rados.Req
 		return
 	}
 	shardSize := (n + pool.K - 1) / pool.K
-	type src struct{ rank, osd int }
-	var srcs []src
-	for rank := 0; rank < pool.K && len(srcs) < pool.K; rank++ {
+	op := f.getECRead()
+	op.opts, op.shardSize = opts, shardSize
+
+	// Choose k source ranks, preferring the data shards so no decode is
+	// needed on the healthy path. Targets double as the source list.
+	srcs := 0
+	for rank := 0; rank < pool.K && srcs < pool.K; rank++ {
 		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
-			srcs = append(srcs, src{rank, o})
+			t := op.target(srcs)
+			srcs++
+			t.keyBuf = rados.AppendShardKey(t.keyBuf[:0], obj, off, rank)
+			t.osd = o
 		}
 	}
-	needDecode := len(srcs) < pool.K
-	for rank := pool.K; rank < pool.K+pool.M && len(srcs) < pool.K; rank++ {
+	op.needDecode = srcs < pool.K
+	for rank := pool.K; rank < pool.K+pool.M && srcs < pool.K; rank++ {
 		if o := acting[rank]; o != crush.ItemNone && c.OSDs[o].Up() {
-			srcs = append(srcs, src{rank, o})
+			t := op.target(srcs)
+			srcs++
+			t.keyBuf = rados.AppendShardKey(t.keyBuf[:0], obj, off, rank)
+			t.osd = o
 		}
 	}
-	if len(srcs) < pool.K {
-		done(needDecode, fmt.Errorf("core: pg for %q has too few up shards", obj))
+	if srcs < pool.K {
+		nd := op.needDecode
+		op.f.ecrFree = append(op.f.ecrFree, op)
+		done(nd, fmt.Errorf("core: pg for %q has too few up shards", obj))
 		return
 	}
-	sub := join(c.Eng, len(srcs), func(err error) { done(needDecode, err) })
-	for _, s := range srcs {
-		s := s
-		key := fmt.Sprintf("%s:%d.s%d", obj, off, s.rank)
-		node := c.NodeOf(s.osd)
-		c.Fabric.Send(f.From, node, rados.HdrBytes, func() {
-			c.OSDs[s.osd].SubmitOpts(opts, rados.OpRead, key, 0, nil, shardSize, func(r rados.Result) {
-				c.Fabric.Send(node, f.From, rados.HdrBytes+shardSize, func() { sub(errOf(r)) })
-			})
-		})
+	op.remaining, op.firstErr, op.done = srcs, nil, done
+	for i := 0; i < srcs; i++ {
+		t := op.targets[i]
+		t.key = string(t.keyBuf)
+		t.node, t.err = c.NodeOf(t.osd), nil
+		c.Fabric.Send(f.From, t.node, rados.HdrBytes, t.send)
 	}
 }

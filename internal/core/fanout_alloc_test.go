@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rados"
+)
+
+// newFanoutHarness builds a testbed plus a client-side Fanout endpoint.
+func newFanoutHarness(tb testing.TB) (*Testbed, *Fanout) {
+	tb.Helper()
+	cfg := DefaultTestbedConfig()
+	cfg.Jitter = false
+	t, err := NewTestbed(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	host, err := t.Fabric.AddHost("fanout-client", 10e9, cfg.CM.HostStack)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t, &Fanout{Cluster: t.Cluster, From: host}
+}
+
+// TestFanoutIssueZeroAlloc pins the steady-state allocation behaviour of the
+// fan-out issue paths: after the op pools and the engine's event freelist are
+// warm, issuing a replicated write or primary read performs zero heap
+// allocations. The warmup issues a deep batch WITHOUT draining so every pool
+// reaches the concurrency the measured phase needs, then drains once to
+// return everything to the freelists.
+func TestFanoutIssueZeroAlloc(t *testing.T) {
+	tb, f := newFanoutHarness(t)
+	pool := tb.ReplPool
+	completed := 0
+	done := func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		completed++
+	}
+	const warm = 400
+	for i := 0; i < warm; i++ {
+		f.WriteReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+		f.ReadReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+	}
+	tb.Eng.Run()
+	if completed != 2*warm {
+		t.Fatalf("warmup completed %d ops, want %d", completed, 2*warm)
+	}
+
+	writeAllocs := testing.AllocsPerRun(100, func() {
+		f.WriteReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+	})
+	tb.Eng.Run()
+	if writeAllocs != 0 {
+		t.Errorf("WriteReplicated issue path allocated %.1f/op, want 0", writeAllocs)
+	}
+
+	readAllocs := testing.AllocsPerRun(100, func() {
+		f.ReadReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+	})
+	tb.Eng.Run()
+	if readAllocs != 0 {
+		t.Errorf("ReadReplicated issue path allocated %.1f/op, want 0", readAllocs)
+	}
+}
+
+// TestFanoutECIssueAllocBound bounds the EC write path: the only permitted
+// steady-state allocation is the per-shard key string handed to the store
+// (one alloc per shard; 6 shards in the default 4+2 geometry).
+func TestFanoutECIssueAllocBound(t *testing.T) {
+	tb, f := newFanoutHarness(t)
+	pool := tb.ECPool
+	completed := 0
+	done := func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		completed++
+	}
+	const warm = 200
+	for i := 0; i < warm; i++ {
+		f.WriteEC(pool, "obj", 0, 64<<10, rados.ReqOpts{}, done)
+	}
+	tb.Eng.Run()
+	if completed != warm {
+		t.Fatalf("warmup completed %d ops, want %d", completed, warm)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		f.WriteEC(pool, "obj", 0, 64<<10, rados.ReqOpts{}, done)
+	})
+	tb.Eng.Run()
+	if max := float64(pool.K + pool.M); allocs > max {
+		t.Errorf("WriteEC issue path allocated %.1f/op, want <= %.0f (key strings)", allocs, max)
+	}
+}
+
+// BenchmarkFanoutWriteReplicated measures one full replicated fan-out write
+// at queue depth 1, including the simulated OSD round trip.
+func BenchmarkFanoutWriteReplicated(b *testing.B) {
+	tb, f := newFanoutHarness(b)
+	pool := tb.ReplPool
+	done := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	f.WriteReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+	tb.Eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.WriteReplicated(pool, "obj", 0, 4096, rados.ReqOpts{}, done)
+		tb.Eng.Run()
+	}
+}

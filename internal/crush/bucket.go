@@ -69,6 +69,19 @@ type Bucket struct {
 	permX uint32
 	permN uint32
 	perm  []uint32
+
+	// onChange is installed by Map.AddBucket and fires on membership or
+	// weight edits so the map can advance its placement generation. The
+	// uniform perm cache above is selection-internal state and does not
+	// count as a change.
+	onChange func()
+}
+
+// noteChange reports a structural edit to the owning map, if attached.
+func (b *Bucket) noteChange() {
+	if b.onChange != nil {
+		b.onChange()
+	}
 }
 
 // NewBucket creates a bucket with the given items and fixed-point weights.
@@ -146,6 +159,7 @@ func (b *Bucket) rebuild() error {
 func (b *Bucket) AddItem(item int, weight uint32) error {
 	b.Items = append(b.Items, item)
 	b.weights = append(b.weights, weight)
+	b.noteChange()
 	return b.rebuild()
 }
 
@@ -156,6 +170,7 @@ func (b *Bucket) RemoveItem(item int) (bool, error) {
 		if it == item {
 			b.Items = append(b.Items[:i], b.Items[i+1:]...)
 			b.weights = append(b.weights[:i], b.weights[i+1:]...)
+			b.noteChange()
 			return true, b.rebuild()
 		}
 	}
@@ -167,6 +182,7 @@ func (b *Bucket) AdjustItemWeight(item int, weight uint32) (bool, error) {
 	for i, it := range b.Items {
 		if it == item {
 			b.weights[i] = weight
+			b.noteChange()
 			return true, b.rebuild()
 		}
 	}

@@ -64,6 +64,12 @@ type Map struct {
 	names   map[int]string // bucket id -> name
 
 	nextBucketID int // most negative assigned so far
+
+	// gen counts structural edits to the map: buckets or rules added, and
+	// item membership/weight changes inside any attached bucket. Placement
+	// caches key their validity off Generation (Ceph's osdmap-epoch
+	// analogue for the CRUSH-topology half of the map).
+	gen uint64
 }
 
 // NewMap returns an empty map with default tunables.
@@ -101,6 +107,7 @@ func (m *Map) AddBucket(b *Bucket) error {
 		return fmt.Errorf("crush: duplicate bucket id %d", b.ID)
 	}
 	m.buckets[b.ID] = b
+	b.onChange = m.noteChange
 	if b.ID < m.nextBucketID {
 		m.nextBucketID = b.ID
 	}
@@ -109,8 +116,18 @@ func (m *Map) AddBucket(b *Bucket) error {
 			m.maxDev = it + 1
 		}
 	}
+	m.gen++
 	return nil
 }
+
+// Generation returns a counter that advances on every structural change to
+// the map: AddBucket, AddRule, and AddItem/RemoveItem/AdjustItemWeight on
+// any bucket attached to the map. Equal generations guarantee Select
+// returns the same answer for the same inputs, so callers may cache
+// placements keyed on it.
+func (m *Map) Generation() uint64 { return m.gen }
+
+func (m *Map) noteChange() { m.gen++ }
 
 // NewBucketID returns the next unused negative bucket id.
 func (m *Map) NewBucketID() int {
@@ -256,7 +273,10 @@ type Rule struct {
 }
 
 // AddRule registers a rule by name, replacing any previous definition.
-func (m *Map) AddRule(r *Rule) { m.rules[r.Name] = r }
+func (m *Map) AddRule(r *Rule) {
+	m.rules[r.Name] = r
+	m.gen++
+}
 
 // Rule returns the named rule, or nil.
 func (m *Map) Rule(name string) *Rule { return m.rules[name] }

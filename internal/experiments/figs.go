@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -82,6 +83,22 @@ func (r *SWBaselineResult) Tables() []*metrics.Table {
 		}
 	}
 	return []*metrics.Table{lat, rate}
+}
+
+// Digest returns an FNV-1a hash over every measured point, in run order.
+// Two runs with the same Config must produce the same digest — the
+// simulation is deterministic — so the self-test mode uses it to detect any
+// nondeterminism introduced by hot-path optimisations.
+func (r *SWBaselineResult) Digest() uint64 {
+	h := fnv.New64a()
+	for _, ps := range [][]Point{r.Latency, r.Rate} {
+		for _, p := range ps {
+			fmt.Fprintf(h, "%d|%t|%s|%d|%.9g|%.9g|%d|%d\n",
+				p.Stack, p.EC, p.Workload, p.BS, p.MBps, p.KIOPS,
+				int64(p.Mean), int64(p.P99))
+		}
+	}
+	return h.Sum64()
 }
 
 func bsLabel(bs int) string {

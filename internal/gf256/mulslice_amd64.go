@@ -1,0 +1,39 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// gfMulXorAVX2 computes dst[i] ^= c*src[i] over blocks*32 bytes using the
+// split-nibble tables for c: each 32-byte step splits the source into low
+// and high nibbles, resolves both through PSHUFB lookups of t.lo/t.hi, and
+// XORs the combined product into dst. Caller guarantees blocks >= 1 and
+// that both buffers hold at least blocks*32 bytes.
+//
+//go:noescape
+func gfMulXorAVX2(t *nibTable, src, dst *byte, blocks int)
+
+// cpuidraw executes CPUID with the given EAX/ECX inputs.
+func cpuidraw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuidraw(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, c, _ := cpuidraw(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return
+	}
+	// The OS must have enabled XMM and YMM state saving before AVX2
+	// registers are safe to touch.
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 {
+		return
+	}
+	_, b, _, _ := cpuidraw(7, 0)
+	useAVX2 = b&(1<<5) != 0
+}

@@ -1,0 +1,59 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func gfMulXorAVX2(t *nibTable, src, dst *byte, blocks int)
+//
+// Split-nibble GF(256) multiply-accumulate, 32 bytes per iteration:
+//   dst ^= lo[src & 0x0f] ^ hi[src >> 4]
+// with lo/hi resolved via PSHUFB against the 16-entry product tables that
+// nibTableFor built for the coefficient. nibTable layout is lo at +0, hi
+// at +16 (see the struct comment).
+TEXT ·gfMulXorAVX2(SB), NOSPLIT, $0-32
+	MOVQ t+0(FP), AX
+	MOVQ src+8(FP), SI
+	MOVQ dst+16(FP), DI
+	MOVQ blocks+24(FP), CX
+
+	VBROADCASTI128 (AX), Y0   // Y0 = lo table, both lanes
+	VBROADCASTI128 16(AX), Y1 // Y1 = hi table, both lanes
+	MOVQ $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ DX, X2
+	VPBROADCASTQ X2, Y2 // Y2 = nibble mask
+
+loop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4  // high nibbles (stray high bits masked next)
+	VPAND   Y2, Y3, Y3  // low nibbles
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5  // lo[src & 0x0f]
+	VPSHUFB Y4, Y1, Y6  // hi[src >> 4]
+	VPXOR   Y5, Y6, Y5
+	VPXOR   (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop
+
+	VZEROUPPER
+	RET
+
+// func cpuidraw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidraw(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// gfMulXorAVX2 is never called on platforms without the AVX2 kernel;
+// useAVX2 stays false so MulSlice routes to the scalar path.
+func gfMulXorAVX2(t *nibTable, src, dst *byte, blocks int) {
+	panic("gf256: AVX2 kernel unavailable")
+}

@@ -246,3 +246,163 @@ func TestRegisterBuffers(t *testing.T) {
 		t.Fatal("unregister failed")
 	}
 }
+
+// TestLinkedChainSpansSQPollBatches covers the chain-straddles-drains case:
+// GetSQE publishes entries one at a time, so the SQPOLL poller can drain a
+// link chain whose tail has not been written yet. The open chain must be
+// parked and resumed by the next drain — not silently split into two
+// independent chains.
+func TestLinkedChainSpansSQPollBatches(t *testing.T) {
+	for _, fail := range []bool{false, true} {
+		name := "complete"
+		if fail {
+			name = "headFails"
+		}
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			failOff := map[int64]bool{}
+			if fail {
+				failOff[0] = true
+			}
+			ot := &orderTarget{eng: eng, latency: 10 * sim.Microsecond, failOff: failOff}
+			r, err := Setup(eng, Params{Entries: 16, Mode: SQPollMode}, ot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var starts []sim.Time
+			r.target = &hookTarget{inner: ot, onSubmit: func() { starts = append(starts, eng.Now()) }}
+
+			results := map[uint64]int32{}
+			eng.Spawn("app", func(p *sim.Proc) {
+				// Publish the first two links, then stall long enough for the
+				// poller to drain them with the chain still open.
+				for i := 0; i < 2; i++ {
+					sqe := r.GetSQE()
+					sqe.Op = OpWrite
+					sqe.Off = int64(i)
+					sqe.Len = 512
+					sqe.UserData = uint64(i)
+					sqe.Flags = FlagIOLink
+				}
+				p.Sleep(10 * r.Params().SQPollLatency)
+				if r.SQPending() != 0 {
+					t.Errorf("poller did not drain the open chain: %d pending", r.SQPending())
+				}
+				if len(starts) != 0 {
+					t.Errorf("open chain dispatched early: %d starts", len(starts))
+				}
+				// Now publish the chain's tail; the next poll must resume the
+				// parked chain rather than start a fresh one.
+				sqe := r.GetSQE()
+				sqe.Op = OpFsync
+				sqe.Off = 2
+				sqe.Len = 512
+				sqe.UserData = 2
+				for i := 0; i < 3; i++ {
+					cqe, err := r.WaitCQE(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[cqe.UserData] = cqe.Res
+				}
+			})
+			eng.Run()
+			if fail {
+				if results[0] != -5 {
+					t.Fatalf("op0 res = %d, want -5", results[0])
+				}
+				for _, ud := range []uint64{1, 2} {
+					if results[ud] != ECanceled {
+						t.Fatalf("op%d res = %d, want ECANCELED", ud, results[ud])
+					}
+				}
+				// The cancelled links — including the tail published after the
+				// park — must never reach the device.
+				if len(ot.order) != 1 {
+					t.Fatalf("device saw %v", ot.order)
+				}
+				return
+			}
+			for i := uint64(0); i < 3; i++ {
+				if results[i] != 512 {
+					t.Fatalf("op%d res = %d, want 512", i, results[i])
+				}
+			}
+			if len(ot.order) != 3 || ot.order[0] != 0 || ot.order[1] != 1 || ot.order[2] != 2 {
+				t.Fatalf("order = %v", ot.order)
+			}
+			// Each link waits for its predecessor even across the drain gap.
+			for i := 1; i < 3; i++ {
+				if starts[i].Sub(starts[i-1]) < 10*sim.Microsecond {
+					t.Fatalf("link %d started early: %v", i, starts)
+				}
+			}
+		})
+	}
+}
+
+// TestLinkedChainTruncatesAtSubmitBoundary checks the submit-boundary rule:
+// an explicit enter whose final SQE still carries FlagIOLink has nothing to
+// link to, so the chain dispatches truncated (as Linux treats a chain cut by
+// the to_submit window) and later submissions start a fresh chain.
+func TestLinkedChainTruncatesAtSubmitBoundary(t *testing.T) {
+	eng := sim.NewEngine()
+	ot := &orderTarget{eng: eng, latency: 10 * sim.Microsecond,
+		failOff: map[int64]bool{1: true}}
+	r, err := Setup(eng, Params{Entries: 16}, ot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[uint64]int32{}
+	eng.Spawn("app", func(p *sim.Proc) {
+		// Both SQEs carry FlagIOLink: the second one's link dangles past the
+		// submit window.
+		for i := 0; i < 2; i++ {
+			sqe := r.GetSQE()
+			sqe.Op = OpWrite
+			sqe.Off = int64(i)
+			sqe.Len = 512
+			sqe.UserData = uint64(i)
+			sqe.Flags = FlagIOLink
+		}
+		if _, err := r.Submit(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// A later submission must not join the truncated chain — op1 fails,
+		// but op2 still runs.
+		sqe := r.GetSQE()
+		sqe.Op = OpWrite
+		sqe.Off = 2
+		sqe.Len = 512
+		sqe.UserData = 2
+		if _, err := r.Submit(p); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			cqe, err := r.WaitCQE(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[cqe.UserData] = cqe.Res
+		}
+	})
+	eng.Run()
+	if results[0] != 512 {
+		t.Fatalf("op0 res = %d, want 512", results[0])
+	}
+	if results[1] != -5 {
+		t.Fatalf("op1 res = %d, want -5", results[1])
+	}
+	if results[2] != 512 {
+		t.Fatalf("op2 res = %d, want 512 (must not be chain-cancelled)", results[2])
+	}
+	// All three reach the device: 0 and 1 as a truncated two-link chain, 2
+	// independently.
+	if len(ot.order) != 3 {
+		t.Fatalf("device saw %v", ot.order)
+	}
+}

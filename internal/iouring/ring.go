@@ -220,6 +220,12 @@ type Ring struct {
 
 	pollerArmed bool
 	closed      bool
+	// chain holds a link chain the SQPOLL poller caught mid-publication:
+	// its last gathered SQE still has FlagIOLink set, so the chain's tail
+	// had not been written to the SQ when the drain ran. The next drain
+	// resumes gathering; an explicit submit boundary or Close truncates
+	// instead (see drainSQ).
+	chain []SQE
 	// bufTable holds registered fixed-buffer sizes (nil = none).
 	bufTable []int
 
@@ -339,9 +345,16 @@ func (r *Ring) validateBufIndex(sqe SQE) int32 {
 }
 
 // Close stops the ring; pending completions still drain but new
-// submissions fail. Blocked CQ waiters are woken so reaper loops can exit.
+// submissions fail. A link chain parked by the SQPOLL poller (its tail
+// never published) dispatches truncated, and blocked CQ waiters are woken
+// so reaper loops can exit.
 func (r *Ring) Close() {
 	r.closed = true
+	if r.chain != nil {
+		chain := r.chain
+		r.chain = nil
+		r.dispatchChain(chain)
+	}
 	ws := r.cqWaiters
 	r.cqWaiters = nil
 	for _, w := range ws {
@@ -365,7 +378,7 @@ func (r *Ring) Submit(p *sim.Proc) (int, error) {
 	}
 	r.enters++
 	p.Sleep(r.params.SyscallCost + sim.Duration(n)*r.params.PerSQECost)
-	r.drainSQ(n)
+	r.drainSQ(n, true)
 	return n, nil
 }
 
@@ -380,7 +393,7 @@ func (r *Ring) armPoller() {
 		if n := r.SQPending(); n > 0 {
 			// The SQPOLL thread spends per-SQE kernel time but the app
 			// thread is not blocked — that is the point of the mode.
-			r.drainSQ(n)
+			r.drainSQ(n, false)
 		}
 	})
 }
@@ -389,34 +402,48 @@ func (r *Ring) armPoller() {
 // enters (several submitter threads, or an enter racing the SQPOLL thread)
 // may have consumed entries between observing the count and draining, so
 // the loop re-checks emptiness — as the kernel's consumer side does.
+//
 // Link chains are gathered whole: consecutive SQEs joined by FlagIOLink
-// execute sequentially, and a failure cancels the chain's remainder.
-func (r *Ring) drainSQ(n int) {
-	for i := 0; i < n && r.sqTail != r.sqHead; i++ {
+// execute sequentially, and a failure cancels the chain's remainder. A
+// chain may straddle drains, because this model's GetSQE publishes entries
+// one at a time (unlike a real app's single atomic tail update), so the
+// SQPOLL poller can observe a chain whose tail is not yet written. The
+// open chain is then parked in r.chain and the next drain resumes
+// gathering it. At a submit boundary (an explicit io_uring_enter, or
+// Close) an open chain instead dispatches truncated: a dangling
+// FlagIOLink on the final submitted SQE has nothing to link to, which is
+// exactly how Linux treats a chain cut by the to_submit window.
+func (r *Ring) drainSQ(n int, submitBoundary bool) {
+	consumed := 0
+	for r.sqTail != r.sqHead && (consumed < n || (r.chain != nil && !submitBoundary)) {
 		sqe := r.sqEntries[r.sqHead&r.sqMask]
 		r.sqHead++
 		r.submitted++
+		consumed++
+		if r.chain != nil {
+			r.chain = append(r.chain, sqe)
+			if sqe.Flags&FlagIOLink == 0 {
+				chain := r.chain
+				r.chain = nil
+				r.dispatchChain(chain)
+			}
+			continue
+		}
 		if sqe.Flags&FlagIODrain != 0 && r.inFlight > 0 {
 			// Drain barrier: park until in-flight ops finish.
 			r.parkDrain(sqe)
 			continue
 		}
 		if sqe.Flags&FlagIOLink != 0 {
-			chain := []SQE{sqe}
-			for r.sqTail != r.sqHead && chain[len(chain)-1].Flags&FlagIOLink != 0 && i < n-1 {
-				next := r.sqEntries[r.sqHead&r.sqMask]
-				r.sqHead++
-				r.submitted++
-				i++
-				chain = append(chain, next)
-				if next.Flags&FlagIOLink == 0 {
-					break
-				}
-			}
-			r.dispatchChain(chain)
+			r.chain = []SQE{sqe}
 			continue
 		}
 		r.dispatch(sqe)
+	}
+	if r.chain != nil && submitBoundary {
+		chain := r.chain
+		r.chain = nil
+		r.dispatchChain(chain)
 	}
 }
 

@@ -1,7 +1,6 @@
 package rados
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/crush"
@@ -85,7 +84,7 @@ func (b *Backfiller) BackfillPool(p *sim.Proc, pool *Pool, before, after []uint3
 			for _, mv := range moves {
 				key := obj
 				if pool.Kind == ECPool {
-					key = fmt.Sprintf("%s.s%d", obj, mv.rank)
+					key = StripeShard(obj, mv.rank)
 				}
 				var data []byte
 				src := b.findSource(key, old, mv.to)
@@ -176,7 +175,7 @@ func (b *Backfiller) reconstructShard(pool *Pool, stripe string, rank int, old [
 		if !ok {
 			continue
 		}
-		key := fmt.Sprintf("%s.s%d", stripe, r)
+		key := StripeShard(stripe, r)
 		if ms.Size(key) == 0 {
 			continue
 		}

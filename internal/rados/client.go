@@ -50,7 +50,7 @@ func (cl *Client) fabric() *netsim.Fabric { return cl.Cluster.Fabric }
 
 // shardKey names the stored shard object for an EC stripe write.
 func shardKey(obj string, off, rank int) string {
-	return fmt.Sprintf("%s:%d.s%d", obj, off, rank)
+	return ShardKey(obj, off, rank)
 }
 
 // Write stores data at (obj, off) in the pool and returns when the write is

@@ -60,6 +60,24 @@ type Cluster struct {
 	nextPoolID int
 	// monitor, when attached, owns the in/out weights ActingSet consults.
 	monitor *Monitor
+
+	// Placement cache: ActingSet is a pure function of (CRUSH topology,
+	// reweight table, pool, pg), so results are memoized per (pool, pg)
+	// until either input changes. The monitor invalidates on every weight
+	// edit (InvalidatePlacement); topology edits are caught lazily by
+	// comparing the CRUSH map's Generation. epoch counts invalidations —
+	// the cluster-local analogue of Ceph's osdmap epoch.
+	placeCache map[placeKey][]int
+	cacheGen   uint64 // crush Map generation the cache was built against
+	epoch      uint64
+	// CacheHits/CacheMisses instrument the cache for tests and tools.
+	CacheHits, CacheMisses uint64
+}
+
+// placeKey identifies one PG's placement within one pool.
+type placeKey struct {
+	pool int
+	pg   uint32
 }
 
 // NewCluster builds the cluster and its fabric hosts. The fabric must
@@ -96,12 +114,14 @@ func NewCluster(eng *sim.Engine, fabric *netsim.Fabric, cfg ClusterConfig) (*Clu
 	}})
 
 	c := &Cluster{
-		Eng:    eng,
-		Cfg:    cfg,
-		Map:    m,
-		Root:   root,
-		Fabric: fabric,
-		pools:  make(map[string]*Pool),
+		Eng:        eng,
+		Cfg:        cfg,
+		Map:        m,
+		Root:       root,
+		Fabric:     fabric,
+		pools:      make(map[string]*Pool),
+		placeCache: make(map[placeKey][]int),
+		cacheGen:   m.Generation(),
 	}
 	total := cfg.Nodes * cfg.OSDsPerNode
 	for n := 0; n < cfg.Nodes; n++ {
@@ -240,13 +260,67 @@ func (c *Cluster) PGOf(pool *Pool, obj string) uint32 {
 // hold the PG's replicas or shards. It reflects the current map and weights
 // but not transient up/down state — exactly like Ceph's "acting set" before
 // temp-PG remapping; callers handle down members (degraded ops).
+//
+// The result is served from the placement cache on repeat calls and is
+// shared between all callers: treat it as READ-ONLY. The cache flushes
+// whenever the monitor edits a weight or the CRUSH map's topology changes
+// (see InvalidatePlacement); the hit path performs no CRUSH descent and no
+// allocation.
 func (c *Cluster) ActingSet(pool *Pool, pg uint32) ([]int, error) {
+	c.syncPlacement()
+	k := placeKey{pool.ID, pg}
+	if act, ok := c.placeCache[k]; ok {
+		c.CacheHits++
+		return act, nil
+	}
+	c.CacheMisses++
 	x := crush.Hash2(pg, uint32(pool.ID))
 	var rw []uint32
 	if c.monitor != nil {
 		rw = c.monitor.reweight
 	}
-	return c.Map.Select(pool.rule, x, pool.Width(), rw)
+	act, err := c.Map.Select(pool.rule, x, pool.Width(), rw)
+	if err != nil {
+		return nil, err
+	}
+	c.placeCache[k] = act
+	return act, nil
+}
+
+// syncPlacement catches CRUSH topology edits made directly on c.Map (bucket
+// membership, weights, rules) by comparing generations, flushing the cache
+// and advancing the epoch when one happened.
+func (c *Cluster) syncPlacement() {
+	if g := c.Map.Generation(); g != c.cacheGen {
+		c.epoch++
+		c.flushPlacement(g)
+	}
+}
+
+// InvalidatePlacement flushes the placement cache and advances the map
+// epoch. The monitor calls it on every in/out/reweight edit; callers that
+// mutate placement inputs outside the Cluster/Monitor API may call it
+// directly.
+func (c *Cluster) InvalidatePlacement() {
+	c.epoch++
+	c.flushPlacement(c.Map.Generation())
+}
+
+// flushPlacement empties the cache in place (compiles to a map clear; no
+// allocation) and records the CRUSH generation it now reflects.
+func (c *Cluster) flushPlacement(gen uint64) {
+	for k := range c.placeCache {
+		delete(c.placeCache, k)
+	}
+	c.cacheGen = gen
+}
+
+// MapEpoch returns a counter that advances every time cached placements
+// become stale — on monitor weight edits and CRUSH topology changes. Equal
+// epochs guarantee ActingSet answers have not changed in between.
+func (c *Cluster) MapEpoch() uint64 {
+	c.syncPlacement()
+	return c.epoch
 }
 
 // Monitor returns the attached monitor, or nil.

@@ -48,6 +48,9 @@ func NewMonitor(c *Cluster) *Monitor {
 		Grace:          20 * sim.Second,
 	}
 	c.monitor = m
+	// Attaching a monitor swaps the reweight table ActingSet consults
+	// (nil -> all-in); any placements cached before that are stale.
+	c.InvalidatePlacement()
 	return m
 }
 
@@ -66,6 +69,9 @@ func (m *Monitor) Subscribe(fn func(epoch uint64)) { m.subs = append(m.subs, fn)
 
 func (m *Monitor) bump() {
 	m.epoch++
+	// Weight tables are placement inputs; every edit stales the cluster's
+	// cached acting sets.
+	m.c.InvalidatePlacement()
 	for _, fn := range m.subs {
 		fn := fn
 		e := m.epoch

@@ -177,7 +177,7 @@ func (s *Scrubber) scrubECStripe(p *sim.Proc, pool *Pool, stripe string) (*Incon
 		if !ok {
 			return nil, fmt.Errorf("rados: scrub requires MemStore clusters")
 		}
-		key := fmt.Sprintf("%s.s%d", stripe, rank)
+		key := StripeShard(stripe, rank)
 		if ms.Size(key) == 0 {
 			continue
 		}
@@ -297,7 +297,7 @@ func (s *Scrubber) repairEC(p *sim.Proc, pool *Pool, inc Inconsistency) (int, er
 			continue
 		}
 		ms := s.c.OSDs[o].Store.(*MemStore)
-		key := fmt.Sprintf("%s.s%d", inc.Object, rank)
+		key := StripeShard(inc.Object, rank)
 		if ms.Size(key) == 0 {
 			continue
 		}
@@ -313,7 +313,7 @@ func (s *Scrubber) repairEC(p *sim.Proc, pool *Pool, inc Inconsistency) (int, er
 			continue
 		}
 		p.Sleep(s.ReadCost)
-		key := fmt.Sprintf("%s.s%d", inc.Object, rank)
+		key := StripeShard(inc.Object, rank)
 		if err := s.c.OSDs[o].Store.Write(key, 0, shards[rank]); err != nil {
 			return fixed, err
 		}

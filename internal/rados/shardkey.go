@@ -1,0 +1,44 @@
+package rados
+
+import "strconv"
+
+// Shard-key construction. EC stripe shards are stored under
+// "<obj>:<off>.s<rank>"; helpers that already hold a stripe key
+// ("<obj>:<off>") append only the ".s<rank>" suffix. These builders replace
+// the fmt.Sprintf calls that used to sit on the shard fan-out paths: the
+// Append variants write into a caller-provided buffer and allocate nothing
+// when it has capacity, and the string variants cost exactly one string
+// allocation.
+
+// AppendShardKey appends "<obj>:<off>.s<rank>" to buf and returns the
+// extended slice.
+func AppendShardKey(buf []byte, obj string, off, rank int) []byte {
+	buf = append(buf, obj...)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(off), 10)
+	return appendRank(buf, rank)
+}
+
+// AppendStripeShard appends "<stripe>.s<rank>" to buf and returns the
+// extended slice.
+func AppendStripeShard(buf []byte, stripe string, rank int) []byte {
+	buf = append(buf, stripe...)
+	return appendRank(buf, rank)
+}
+
+func appendRank(buf []byte, rank int) []byte {
+	buf = append(buf, '.', 's')
+	return strconv.AppendInt(buf, int64(rank), 10)
+}
+
+// ShardKey returns the shard object name for rank of the EC stripe written
+// at (obj, off).
+func ShardKey(obj string, off, rank int) string {
+	return string(AppendShardKey(make([]byte, 0, len(obj)+20), obj, off, rank))
+}
+
+// StripeShard returns the shard object name for rank of an existing stripe
+// key.
+func StripeShard(stripe string, rank int) string {
+	return string(AppendStripeShard(make([]byte, 0, len(stripe)+8), stripe, rank))
+}

@@ -17,12 +17,23 @@ import (
 )
 
 // ObjectStore is the per-OSD backing store abstraction.
+//
+// Payload contract: implementations must treat the data slice passed to
+// Write as READ-ONLY and must not retain it after Write returns — copy the
+// bytes if they are kept (MemStore does), or ignore them (NullStore).
+// Callers rely on this: the core fan-out paths pass overlapping views of
+// one shared zero buffer, and the client EC path hands the same shard
+// slices to the codec and the store. A store that mutated or aliased a
+// payload would corrupt unrelated in-flight writes. TestStorePayloadContract
+// enforces both halves for the built-in stores.
 type ObjectStore interface {
 	// Write stores data at byte offset off of the named object, growing it
-	// as needed.
+	// as needed. The data slice is read-only and must not be retained.
 	Write(obj string, off int, data []byte) error
 	// Read returns n bytes at offset off. Reading past the written extent
-	// returns zero bytes (objects are sparse, as in RADOS).
+	// returns zero bytes (objects are sparse, as in RADOS). The returned
+	// slice is read-only and only valid until the next Read on the same
+	// store — NullStore serves every read from one scratch buffer.
 	Read(obj string, off, n int) ([]byte, error)
 	// Size returns the current object size in bytes (0 if absent).
 	Size(obj string) int
@@ -95,6 +106,10 @@ func (s *MemStore) ObjectNames() []string {
 // use it so multi-gigabyte simulated workloads do not hold real memory.
 type NullStore struct {
 	sizes map[string]int
+	// scratch backs Read results. A NullStore's content is always zero, so
+	// every read can share one buffer: it is read-only for callers (like
+	// all Read results) and its bytes never change.
+	scratch []byte
 }
 
 // NewNullStore returns an empty metadata-only store.
@@ -113,12 +128,16 @@ func (s *NullStore) Write(obj string, off int, data []byte) error {
 	return nil
 }
 
-// Read implements ObjectStore. It returns zeroed bytes.
+// Read implements ObjectStore. It returns zeroed bytes from a shared
+// per-store scratch buffer: allocation-free after the first large read.
 func (s *NullStore) Read(obj string, off, n int) ([]byte, error) {
 	if off < 0 || n < 0 {
 		return nil, fmt.Errorf("rados: bad read off=%d n=%d", off, n)
 	}
-	return make([]byte, n), nil
+	if n > len(s.scratch) {
+		s.scratch = make([]byte, n)
+	}
+	return s.scratch[:n], nil
 }
 
 // Size implements ObjectStore.

@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun measures raw event throughput: one Schedule plus one
+// dispatch per iteration, self-sustaining so the heap never empties. With the
+// event freelist this is allocation-free in steady state.
+func BenchmarkScheduleRun(b *testing.B) {
+	eng := NewEngine()
+	n := b.N
+	var tick func()
+	tick = func() {
+		if n--; n > 0 {
+			eng.Schedule(Microsecond, tick)
+		}
+	}
+	eng.Schedule(Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkSchedulePingPong keeps a deeper heap busy: 64 self-rescheduling
+// events with staggered periods, exercising sift-up/down paths.
+func BenchmarkSchedulePingPong(b *testing.B) {
+	eng := NewEngine()
+	const width = 64
+	n := b.N
+	for i := 0; i < width; i++ {
+		period := Duration(i%7+1) * Microsecond
+		var tick func()
+		tick = func() {
+			if n--; n > 0 {
+				eng.Schedule(period, tick)
+			}
+		}
+		eng.Schedule(period, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel pair (timeout-style
+// usage: most armed events never fire).
+func BenchmarkScheduleCancel(b *testing.B) {
+	eng := NewEngine()
+	// Keep one event live so generation churn on the freelist is realistic.
+	eng.Schedule(Duration(b.N+1)*Microsecond, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := eng.Schedule(Microsecond, func() {})
+		eng.Cancel(id)
+	}
+}
+
+// TestScheduleRunZeroAlloc pins the freelist: once warm, a schedule+dispatch
+// cycle must not allocate.
+func TestScheduleRunZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	// Warm the freelist past the measured depth.
+	for i := 0; i < 64; i++ {
+		eng.Schedule(Duration(i)*Microsecond, fn)
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		eng.Schedule(Microsecond, fn)
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+run allocated %.1f/op, want 0", allocs)
+	}
+}

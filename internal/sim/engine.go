@@ -61,16 +61,23 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Fired and cancelled events return to the
+// engine's freelist, so steady-state scheduling allocates nothing.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: schedule order
 	fn  func()
 	idx int // heap index; -1 when popped/cancelled
+	gen uint64 // recycle generation; stale EventIDs fail the gen check
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. An ID taken
+// from an event that has since fired (and whose struct was recycled) is
+// detected by generation and cancels nothing.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 type eventHeap []*event
 
@@ -108,6 +115,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	pq      eventHeap
+	free    []*event // recycled event structs (see At/recycle)
 	running bool
 	stopped bool
 	procs   int // live coroutine processes
@@ -139,10 +147,26 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.pq, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// recycle returns a popped/cancelled event to the freelist. The generation
+// bump invalidates any EventID still pointing at the struct.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
@@ -150,12 +174,12 @@ func (e *Engine) At(t Time, fn func()) EventID {
 // actually removed.
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.idx < 0 {
+	if ev == nil || ev.gen != id.gen || ev.idx < 0 {
 		return false
 	}
 	heap.Remove(&e.pq, ev.idx)
 	ev.idx = -1
-	ev.fn = nil
+	e.recycle(ev)
 	return true
 }
 
@@ -185,7 +209,10 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		heap.Pop(&e.pq)
 		e.now = next.at
 		fn := next.fn
-		next.fn = nil
+		// Recycle before running fn: the callback may schedule new events
+		// that reuse the struct; fn is already saved and next is not touched
+		// again.
+		e.recycle(next)
 		if fn != nil {
 			fn()
 		}
