@@ -15,6 +15,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The parallel experiment runner is the one place goroutines touch shared
+# slices; race it explicitly so a future narrowing of the blanket run above
+# cannot silently drop it.
+echo "== go test -race (experiment runner) =="
+go test -race -count=1 ./internal/experiments/...
+
+# Fuzz seed corpus for the fused GF(256) kernel: runs the f.Add cases
+# (length 0, sub-block, non-multiple-of-32 tails, misalignment) as plain
+# tests — cheap enough for every CI run, -short included.
+echo "== gf256 fuzz seeds =="
+go test -run 'Fuzz' ./internal/gf256/
+
 if [ "${1:-}" != "-short" ]; then
     # One iteration of every benchmark with allocation counts: catches
     # bit-rot in the perf harness and regressions in the zero-alloc
@@ -25,5 +37,13 @@ fi
 
 echo "== delibabench self-test =="
 go run ./cmd/delibabench -selftest -iters 3
+
+if [ "${1:-}" != "-short" ]; then
+    # Machine-readable evidence artifact: per-family serial-vs-parallel
+    # digests and wall-clock plus erasure-kernel micro-benchmarks. Fails if
+    # any family digests differently under parallel execution.
+    echo "== benchmark report (BENCH_pr2.json) =="
+    go run ./cmd/delibabench -json BENCH_pr2.json
+fi
 
 echo "CI OK"

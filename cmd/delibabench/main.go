@@ -4,16 +4,26 @@
 //
 // Usage:
 //
-//	delibabench [-quick] [-only fig3,fig6,tab2,...]
+//	delibabench [-quick] [-parallel n] [-only fig3,fig6,tab2,...]
 //	delibabench -selftest [-iters n]
+//	delibabench -json out.json
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu
 //
+// -parallel sets how many worker goroutines the experiment runner fans
+// sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
+// any setting; only wall-clock changes.
+//
 // -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
-// and checking that every run produces a bit-identical result digest. It is
-// the wall-clock yardstick for hot-path work: the simulation must get
-// faster without its output changing by a single bit.
+// and checking that every run produces a bit-identical result digest, then
+// cross-checks serial against parallel execution of the Fig. 3 and Fig. 6
+// grids. It is the wall-clock yardstick for hot-path work: the simulation
+// must get faster without its output changing by a single bit.
+//
+// -json writes a machine-readable report (quick-scale digests, serial vs
+// parallel wall-clock per experiment family, and erasure-kernel
+// micro-benchmarks) to the given path instead of printing tables.
 package main
 
 import (
@@ -32,8 +42,19 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	selftest := flag.Bool("selftest", false, "run the wall-clock/determinism self-test")
 	iters := flag.Int("iters", 20, "self-test iterations")
+	par := flag.Int("parallel", 0, "experiment runner workers (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path")
 	flag.Parse()
 
+	experiments.SetParallelism(*par)
+
+	if *jsonPath != "" {
+		if err := writeJSONReport(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *selftest {
 		if err := runSelftest(*iters); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)
@@ -91,7 +112,78 @@ func runSelftest(iters int) error {
 	fmt.Printf("selftest: wall-clock mean %.1f ms/iter, best %.1f ms\n",
 		float64(total.Microseconds())/float64(iters)/1e3,
 		float64(min.Microseconds())/1e3)
+
+	// Serial-vs-parallel cross-check: the same grids at 1 worker and at the
+	// configured fan-out must digest identically. Digest equality is the
+	// hard gate; the speedup is reported but not asserted (this binary may
+	// run on a single-core host, where it is legitimately ~1.0x).
+	for _, fam := range selftestFamilies() {
+		serial, err := timedRun(1, cfg, fam)
+		if err != nil {
+			return err
+		}
+		parallel, err := timedRun(0, cfg, fam)
+		if err != nil {
+			return err
+		}
+		if serial.digest != parallel.digest {
+			return fmt.Errorf("selftest: %s digest %016x (serial) != %016x (%d workers) — parallel runner is nondeterministic",
+				fam.name, serial.digest, parallel.digest, experiments.Parallelism())
+		}
+		fmt.Printf("selftest: %s serial==parallel digest %016x; %0.1f ms -> %0.1f ms (%.2fx, %d workers)\n",
+			fam.name, serial.digest,
+			float64(serial.elapsed.Microseconds())/1e3,
+			float64(parallel.elapsed.Microseconds())/1e3,
+			float64(serial.elapsed)/float64(parallel.elapsed),
+			experiments.Parallelism())
+	}
 	return nil
+}
+
+// family is one digestable experiment used by the selftest and the JSON
+// report.
+type family struct {
+	name string
+	run  func(cfg experiments.Config) (uint64, error)
+}
+
+func selftestFamilies() []family {
+	return []family{
+		{"fig3", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.Fig3(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+		{"fig6", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.Fig6and7(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+	}
+}
+
+type timedResult struct {
+	digest  uint64
+	elapsed time.Duration
+}
+
+// timedRun measures one family at the given worker count (0 = the
+// configured default), restoring the previous setting afterwards.
+func timedRun(workers int, cfg experiments.Config, fam family) (timedResult, error) {
+	if workers > 0 {
+		prev := experiments.SetParallelism(workers)
+		defer experiments.SetParallelism(prev)
+	}
+	start := time.Now()
+	d, err := fam.run(cfg)
+	if err != nil {
+		return timedResult{}, err
+	}
+	return timedResult{digest: d, elapsed: time.Since(start)}, nil
 }
 
 func printTables(tabs ...*metrics.Table) {

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/experiments"
+	"repro/internal/gf256"
+)
+
+// benchReport is the machine-readable artifact -json emits: quick-scale
+// digests and serial-vs-parallel wall-clock for representative experiment
+// families, plus erasure-kernel micro-benchmarks. CI archives it so
+// performance PRs carry evidence alongside the code.
+type benchReport struct {
+	Schema      string         `json:"schema"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Parallelism int            `json:"parallelism"`
+	Families    []familyReport `json:"families"`
+	Kernels     []kernelReport `json:"kernels"`
+}
+
+type familyReport struct {
+	Name          string  `json:"name"`
+	Digest        string  `json:"digest"`
+	SerialMs      float64 `json:"serial_ms"`
+	ParallelMs    float64 `json:"parallel_ms"`
+	Speedup       float64 `json:"speedup"`
+	DigestMatches bool    `json:"digest_matches"`
+}
+
+type kernelReport struct {
+	Name    string  `json:"name"`
+	Bytes   int     `json:"payload_bytes"`
+	Iters   int     `json:"iters"`
+	MBPerS  float64 `json:"mb_per_s"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// reportFamilies is the JSON report's coverage: every runner-converted
+// experiment family with a digest.
+func reportFamilies() []family {
+	fams := selftestFamilies()
+	fams = append(fams,
+		family{"fig8", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.Fig8and9(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+		family{"tab2", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.Table2(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+		family{"buckets", func(experiments.Config) (uint64, error) {
+			rows, err := experiments.BucketQuality()
+			if err != nil {
+				return 0, err
+			}
+			return experiments.BucketQualityDigest(rows), nil
+		}},
+		family{"recovery", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.Recovery(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+		family{"oltp", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.OLTP(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+	)
+	return fams
+}
+
+// writeJSONReport runs the quick-scale report grid and writes it to path.
+// It always uses the Quick config: the report is determinism and speedup
+// evidence, not a paper-scale result set.
+func writeJSONReport(path string) error {
+	cfg := experiments.Quick()
+	rep := benchReport{
+		Schema:      "delibabench/bench-v1",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+	}
+	for _, fam := range reportFamilies() {
+		serial, err := timedRun(1, cfg, fam)
+		if err != nil {
+			return fmt.Errorf("json report: %s serial: %w", fam.name, err)
+		}
+		parallel, err := timedRun(0, cfg, fam)
+		if err != nil {
+			return fmt.Errorf("json report: %s parallel: %w", fam.name, err)
+		}
+		fr := familyReport{
+			Name:          fam.name,
+			Digest:        fmt.Sprintf("%016x", serial.digest),
+			SerialMs:      float64(serial.elapsed.Microseconds()) / 1e3,
+			ParallelMs:    float64(parallel.elapsed.Microseconds()) / 1e3,
+			Speedup:       float64(serial.elapsed) / float64(parallel.elapsed),
+			DigestMatches: serial.digest == parallel.digest,
+		}
+		rep.Families = append(rep.Families, fr)
+		if !fr.DigestMatches {
+			return fmt.Errorf("json report: %s serial digest %016x != parallel %016x",
+				fam.name, serial.digest, parallel.digest)
+		}
+	}
+	rep.Kernels = append(rep.Kernels, benchEncode(), benchReconstruct(), benchMulAdd())
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("delibabench: wrote %s (%d families, %d kernel benches)\n",
+		path, len(rep.Families), len(rep.Kernels))
+	return nil
+}
+
+// benchShards builds a deterministic k+m shard set for the kernel benches.
+func benchShards(k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		for j := range shards[i] {
+			shards[i][j] = byte(i*31 + j)
+		}
+	}
+	return shards
+}
+
+// benchEncode times the fused-kernel RS(8,4) encode over 128 kB shards —
+// the acceptance benchmark's shape.
+func benchEncode() kernelReport {
+	const k, m, size, iters = 8, 4, 128 * 1024, 400
+	c, err := erasure.New(k, m, erasure.VandermondeRS)
+	if err != nil {
+		panic(err)
+	}
+	shards := benchShards(k, m, size)
+	for i := 0; i < 8; i++ { // warm-up
+		if err := c.Encode(shards); err != nil {
+			panic(err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := c.Encode(shards); err != nil {
+			panic(err)
+		}
+	}
+	el := time.Since(start)
+	return kernelReport{
+		Name:    "erasure.Encode RS(8,4) 128kB",
+		Bytes:   k * size,
+		Iters:   iters,
+		MBPerS:  float64(k*size*iters) / el.Seconds() / 1e6,
+		NsPerOp: float64(el.Nanoseconds()) / iters,
+	}
+}
+
+// benchReconstruct times a two-shard rebuild of the same geometry.
+func benchReconstruct() kernelReport {
+	const k, m, size, iters = 8, 4, 128 * 1024, 200
+	c, err := erasure.New(k, m, erasure.VandermondeRS)
+	if err != nil {
+		panic(err)
+	}
+	shards := benchShards(k, m, size)
+	if err := c.Encode(shards); err != nil {
+		panic(err)
+	}
+	work := make([][]byte, k+m)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		copy(work, shards)
+		work[1], work[6] = nil, nil
+		if err := c.Reconstruct(work); err != nil {
+			panic(err)
+		}
+	}
+	el := time.Since(start)
+	return kernelReport{
+		Name:    "erasure.Reconstruct RS(8,4) 2 lost 128kB",
+		Bytes:   k * size,
+		Iters:   iters,
+		MBPerS:  float64(k*size*iters) / el.Seconds() / 1e6,
+		NsPerOp: float64(el.Nanoseconds()) / iters,
+	}
+}
+
+// benchMulAdd times the raw fused GF(256) dot-product kernel.
+func benchMulAdd() kernelReport {
+	const k, size, iters = 8, 16 * 1024, 2000
+	shards := benchShards(k, 0, size)
+	coeffs := make([]byte, k)
+	for i := range coeffs {
+		coeffs[i] = byte(3 + 2*i)
+	}
+	dst := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		gf256.MulAddSlices(coeffs, shards, dst)
+	}
+	el := time.Since(start)
+	return kernelReport{
+		Name:    "gf256.MulAddSlices k=8 16kB",
+		Bytes:   k * size,
+		Iters:   iters,
+		MBPerS:  float64(k*size*iters) / el.Seconds() / 1e6,
+		NsPerOp: float64(el.Nanoseconds()) / iters,
+	}
+}

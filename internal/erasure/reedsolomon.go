@@ -8,6 +8,7 @@
 package erasure
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -56,6 +57,15 @@ type Code struct {
 	// degraded reads during an outage hit the same loss pattern
 	// repeatedly, so production codecs cache the inversion.
 	decCache map[string]*gf256.Matrix
+	// Reusable per-Code work buffers (the struct is documented as not safe
+	// for concurrent use, so no locking): scratch backs Verify's recomputed
+	// parity, key the decode-cache lookups, and present/missing/gather the
+	// Reconstruct bookkeeping. They keep the steady-state paths
+	// allocation-free.
+	scratch          []byte
+	key              []byte
+	present, missing []int
+	gather           [][]byte
 }
 
 // New returns a code with k data and m parity shards. k+m must be ≤ 256
@@ -140,45 +150,35 @@ func (c *Code) checkShards(shards [][]byte, allowNil bool) (size int, err error)
 
 // Encode computes the m parity shards from the k data shards in place:
 // shards[0:k] are inputs, shards[k:k+m] are outputs (must be allocated, same
-// length as the data shards).
+// length as the data shards). Each parity shard is one fused dot product:
+// a single pass accumulating all k contributions in registers, with no
+// zeroing pass and no read-modify-write of the output.
 func (c *Code) Encode(shards [][]byte) error {
 	if _, err := c.checkShards(shards, false); err != nil {
 		return err
 	}
 	for p := 0; p < c.m; p++ {
-		out := shards[c.k+p]
-		for i := range out {
-			out[i] = 0
-		}
-		row := c.gen.Row(c.k + p)
-		for d := 0; d < c.k; d++ {
-			gf256.MulSlice(row[d], shards[d], out)
-		}
+		gf256.MulAddSlices(c.gen.Row(c.k+p), shards[:c.k], shards[c.k+p])
 	}
 	return nil
 }
 
 // Verify reports whether the parity shards are consistent with the data
-// shards.
+// shards. The recomputed parity lands in a per-Code scratch buffer that is
+// reused across calls.
 func (c *Code) Verify(shards [][]byte) (bool, error) {
 	size, err := c.checkShards(shards, false)
 	if err != nil {
 		return false, err
 	}
-	scratch := make([]byte, size)
+	if cap(c.scratch) < size {
+		c.scratch = make([]byte, size)
+	}
+	scratch := c.scratch[:size]
 	for p := 0; p < c.m; p++ {
-		for i := range scratch {
-			scratch[i] = 0
-		}
-		row := c.gen.Row(c.k + p)
-		for d := 0; d < c.k; d++ {
-			gf256.MulSlice(row[d], shards[d], scratch)
-		}
-		parity := shards[c.k+p]
-		for i := range scratch {
-			if scratch[i] != parity[i] {
-				return false, nil
-			}
+		gf256.MulAddSlices(c.gen.Row(c.k+p), shards[:c.k], scratch)
+		if !bytes.Equal(scratch, shards[c.k+p]) {
+			return false, nil
 		}
 	}
 	return true, nil
@@ -191,8 +191,8 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	if err != nil {
 		return err
 	}
-	present := make([]int, 0, c.k+c.m)
-	missing := make([]int, 0, c.m)
+	present := c.present[:0]
+	missing := c.missing[:0]
 	for i, s := range shards {
 		if s != nil {
 			present = append(present, i)
@@ -200,6 +200,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			missing = append(missing, i)
 		}
 	}
+	c.present, c.missing = present[:0], missing[:0]
 	if len(missing) == 0 {
 		return nil
 	}
@@ -215,26 +216,22 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 		return err
 	}
 
-	// Recover missing data shards first.
-	dataMissing := false
-	for _, idx := range missing {
-		if idx < c.k {
-			dataMissing = true
-			break
-		}
+	// Recover missing data shards first: each is one fused dot product over
+	// the survivors (gathered once into a reused slice-of-slices). The
+	// output buffers are fresh allocations because the caller keeps them in
+	// shards.
+	gathered := c.gather[:0]
+	for _, src := range use {
+		gathered = append(gathered, shards[src])
 	}
-	if dataMissing {
-		for _, idx := range missing {
-			if idx >= c.k {
-				continue
-			}
-			out := make([]byte, size)
-			row := dec.Row(idx)
-			for j, src := range use {
-				gf256.MulSlice(row[j], shards[src], out)
-			}
-			shards[idx] = out
+	c.gather = gathered[:0]
+	for _, idx := range missing {
+		if idx >= c.k {
+			continue
 		}
+		out := make([]byte, size)
+		gf256.MulAddSlices(dec.Row(idx), gathered, out)
+		shards[idx] = out
 	}
 
 	// Recompute missing parity shards from (now complete) data.
@@ -243,10 +240,7 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 			continue
 		}
 		out := make([]byte, size)
-		row := c.gen.Row(idx)
-		for d := 0; d < c.k; d++ {
-			gf256.MulSlice(row[d], shards[d], out)
-		}
+		gf256.MulAddSlices(c.gen.Row(idx), shards[:c.k], out)
 		shards[idx] = out
 	}
 	return nil
@@ -302,10 +296,13 @@ func (c *Code) Join(shards [][]byte, n int) ([]byte, error) {
 // decodeMatrix returns the inverted generator submatrix for the given
 // surviving rows, from cache when the loss pattern repeats.
 func (c *Code) decodeMatrix(use []int) (*gf256.Matrix, error) {
-	key := make([]byte, len(use))
-	for i, u := range use {
-		key[i] = byte(u)
+	key := c.key[:0]
+	for _, u := range use {
+		key = append(key, byte(u))
 	}
+	c.key = key[:0]
+	// The string conversion in a map index does not allocate; only a cache
+	// miss copies the key for the stored entry.
 	if m, ok := c.decCache[string(key)]; ok {
 		return m, nil
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 	"repro/internal/fio"
@@ -82,64 +83,110 @@ func runDKVariant(cfg Config, mutate func(*core.TestbedConfig)) (kiops float64, 
 	return loaded.KIOPS(), qd1.Lat.Mean(), nil
 }
 
+// ablationSpec describes one design-knob ablation as data, so the whole
+// grid can be enumerated and fanned out by the runner.
+type ablationSpec struct {
+	name, baseline, variant string
+	mutate                  func(*core.TestbedConfig)
+}
+
+// ablationSpecs is the ablation grid in presentation order.
+var ablationSpecs = []ablationSpec{
+	{
+		name:     "io_uring kernel-polled mode (optimization ①)",
+		baseline: "SQPOLL (DeLiBA-K)",
+		variant:  "interrupt + enter syscalls",
+		mutate:   func(t *core.TestbedConfig) { t.RingInterrupt = true },
+	},
+	{
+		name:     "DMQ scheduler bypass (optimization ②)",
+		baseline: "bypass (DeLiBA-K)",
+		variant:  "mq-deadline elevator",
+		mutate:   func(t *core.TestbedConfig) { t.DisableDMQBypass = true },
+	},
+	{
+		name:     "multiple per-core io_uring instances",
+		baseline: "3 instances (DeLiBA-K)",
+		variant:  "1 instance",
+		mutate:   func(t *core.TestbedConfig) { t.Instances = 1 },
+	},
+}
+
+// runAblations measures the given specs: two cells per ablation (baseline
+// testbed and mutated testbed), dispatched through the runner. Each cell is
+// a complete loaded+QD1 measurement pair on fresh testbeds.
+func runAblations(cfg Config, specs []ablationSpec) ([]*AblationResult, error) {
+	type cellOut struct {
+		kiops float64
+		lat   sim.Duration
+	}
+	outs, err := RunCells(2*len(specs), func(i int) (cellOut, error) {
+		var mutate func(*core.TestbedConfig)
+		if i%2 == 1 {
+			mutate = specs[i/2].mutate
+		}
+		kiops, lat, err := runDKVariant(cfg, mutate)
+		return cellOut{kiops: kiops, lat: lat}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*AblationResult, len(specs))
+	for s, spec := range specs {
+		base, vari := outs[2*s], outs[2*s+1]
+		results[s] = &AblationResult{
+			Name:          spec.name,
+			Baseline:      spec.baseline,
+			Variant:       spec.variant,
+			BaselineKIOPS: base.kiops,
+			BaselineLat:   base.lat,
+			VariantKIOPS:  vari.kiops,
+			VariantLat:    vari.lat,
+		}
+	}
+	return results, nil
+}
+
+// Ablations runs the whole testbed-knob ablation grid.
+func Ablations(cfg Config) ([]*AblationResult, error) {
+	return runAblations(cfg, ablationSpecs)
+}
+
+// AblationsDigest folds the measured ablation grid into an FNV-1a hash.
+func AblationsDigest(results []*AblationResult) uint64 {
+	h := fnv.New64a()
+	for _, a := range results {
+		fmt.Fprintf(h, "%s|%.9g|%.9g|%d|%d\n",
+			a.Name, a.BaselineKIOPS, a.VariantKIOPS,
+			int64(a.BaselineLat), int64(a.VariantLat))
+	}
+	return h.Sum64()
+}
+
 // AblationSQPoll isolates optimization ①: kernel-polled rings versus
 // interrupt-driven rings with enter syscalls.
 func AblationSQPoll(cfg Config) (*AblationResult, error) {
-	a := &AblationResult{
-		Name:     "io_uring kernel-polled mode (optimization ①)",
-		Baseline: "SQPOLL (DeLiBA-K)",
-		Variant:  "interrupt + enter syscalls",
-	}
-	var err error
-	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
-		return nil, err
-	}
-	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
-		t.RingInterrupt = true
-	}); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return oneAblation(cfg, 0)
 }
 
 // AblationSchedulerBypass isolates optimization ②: the DMQ direct-issue
 // path versus a conventional mq-deadline elevator.
 func AblationSchedulerBypass(cfg Config) (*AblationResult, error) {
-	a := &AblationResult{
-		Name:     "DMQ scheduler bypass (optimization ②)",
-		Baseline: "bypass (DeLiBA-K)",
-		Variant:  "mq-deadline elevator",
-	}
-	var err error
-	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
-		return nil, err
-	}
-	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
-		t.DisableDMQBypass = true
-	}); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return oneAblation(cfg, 1)
 }
 
 // AblationInstances isolates the multi-instance design: 3 pinned io_uring
 // instances versus a single shared one.
 func AblationInstances(cfg Config) (*AblationResult, error) {
-	a := &AblationResult{
-		Name:     "multiple per-core io_uring instances",
-		Baseline: "3 instances (DeLiBA-K)",
-		Variant:  "1 instance",
-	}
-	var err error
-	if a.BaselineKIOPS, a.BaselineLat, err = runDKVariant(cfg, nil); err != nil {
+	return oneAblation(cfg, 2)
+}
+
+func oneAblation(cfg Config, i int) (*AblationResult, error) {
+	res, err := runAblations(cfg, ablationSpecs[i:i+1])
+	if err != nil {
 		return nil, err
 	}
-	if a.VariantKIOPS, a.VariantLat, err = runDKVariant(cfg, func(t *core.TestbedConfig) {
-		t.Instances = 1
-	}); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return res[0], nil
 }
 
 // DFXResult quantifies optimization ⑤: adapting the replication

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"repro/internal/crush"
@@ -31,16 +32,18 @@ type BucketQualityRow struct {
 const bucketQualitySamples = 6000
 
 // BucketQuality measures all five algorithms on a flat 16-device map with
-// 2-way placement.
+// 2-way placement, one runner cell per algorithm. Every cell builds its own
+// maps, so the placement statistics are deterministic under parallel
+// execution; only SelectNs is wall-clock (and excluded from the digest).
 func BucketQuality() ([]BucketQualityRow, error) {
 	algs := []crush.Alg{crush.UniformAlg, crush.ListAlg, crush.TreeAlg, crush.StrawAlg, crush.Straw2Alg}
-	var rows []BucketQualityRow
 	const devices = 16
 	const reps = 2
-	for _, alg := range algs {
+	return RunCells(len(algs), func(cell int) (BucketQualityRow, error) {
+		alg := algs[cell]
 		m, root, err := crush.FlatCluster(devices, alg)
 		if err != nil {
-			return nil, err
+			return BucketQualityRow{}, err
 		}
 		rule := m.Rule("flat")
 
@@ -50,7 +53,7 @@ func BucketQuality() ([]BucketQualityRow, error) {
 		for x := uint32(0); x < bucketQualitySamples; x++ {
 			out, err := m.Select(rule, x, reps, nil)
 			if err != nil {
-				return nil, err
+				return BucketQualityRow{}, err
 			}
 			for _, o := range out {
 				if o >= 0 && o < devices {
@@ -87,7 +90,7 @@ func BucketQuality() ([]BucketQualityRow, error) {
 		// Movement on add: same map with one more device.
 		m2, root2, err := crush.FlatCluster(devices+1, alg)
 		if err != nil {
-			return nil, err
+			return BucketQualityRow{}, err
 		}
 		_ = root
 		_ = root2
@@ -101,15 +104,25 @@ func BucketQuality() ([]BucketQualityRow, error) {
 			}
 		}
 
-		rows = append(rows, BucketQualityRow{
+		return BucketQualityRow{
 			Alg:        alg,
 			Spread:     spread,
 			MoveOnLoss: float64(moved) / bucketQualitySamples,
 			MoveOnAdd:  float64(movedAdd) / bucketQualitySamples,
 			SelectNs:   selectNs,
-		})
+		}, nil
+	})
+}
+
+// BucketQualityDigest folds the placement statistics into an FNV-1a hash.
+// SelectNs is wall-clock (it times the Go implementation on the host) and
+// deliberately excluded: it differs between any two runs.
+func BucketQualityDigest(rows []BucketQualityRow) uint64 {
+	h := fnv.New64a()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%s|%.9g|%.9g|%.9g\n", r.Alg, r.Spread, r.MoveOnLoss, r.MoveOnAdd)
 	}
-	return rows, nil
+	return h.Sum64()
 }
 
 func sameMembers(a, b []int) bool {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash"
 	"hash/fnv"
 
 	"repro/internal/core"
@@ -21,24 +22,33 @@ type SWBaselineResult struct {
 // swBaselineBlockSizes are the two sizes the figures show.
 var swBaselineBlockSizes = []int{4096, 131072}
 
-// SoftwareBaseline runs the Fig. 3 / Fig. 4 grid.
+// SoftwareBaseline runs the Fig. 3 / Fig. 4 grid, fanning the cells out
+// across the runner's workers. Each cell measures both the QD1 latency and
+// the loaded-throughput run on its own fresh testbeds; results assemble in
+// enumeration order, so the digest matches a serial run bit for bit.
 func SoftwareBaseline(cfg Config, ec bool) (*SWBaselineResult, error) {
-	res := &SWBaselineResult{EC: ec}
-	for _, kind := range []core.StackKind{core.StackD2SW, core.StackDKSW} {
-		for _, wl := range StdWorkloads {
-			for _, bs := range swBaselineBlockSizes {
-				lp, err := runLatency(cfg, kind, ec, wl, bs)
-				if err != nil {
-					return nil, err
-				}
-				res.Latency = append(res.Latency, lp)
-				tp, err := runPoint(cfg, kind, ec, wl, bs, cfg.QueueDepth, cfg.Ops)
-				if err != nil {
-					return nil, err
-				}
-				res.Rate = append(res.Rate, tp)
-			}
+	cells := enumCells([]core.StackKind{core.StackD2SW, core.StackDKSW},
+		StdWorkloads, swBaselineBlockSizes)
+	type cellOut struct{ lat, rate Point }
+	outs, err := RunCells(len(cells), func(i int) (cellOut, error) {
+		c := cells[i]
+		lp, err := runLatency(cfg, c.kind, ec, c.wl, c.bs)
+		if err != nil {
+			return cellOut{}, err
 		}
+		tp, err := runPoint(cfg, c.kind, ec, c.wl, c.bs, cfg.QueueDepth, cfg.Ops)
+		if err != nil {
+			return cellOut{}, err
+		}
+		return cellOut{lat: lp, rate: tp}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SWBaselineResult{EC: ec}
+	for _, o := range outs {
+		res.Latency = append(res.Latency, o.lat)
+		res.Rate = append(res.Rate, o.rate)
 	}
 	return res, nil
 }
@@ -85,19 +95,24 @@ func (r *SWBaselineResult) Tables() []*metrics.Table {
 	return []*metrics.Table{lat, rate}
 }
 
+// hashPoints folds measured points into an FNV-1a digest in slice order.
+func hashPoints(h hash.Hash64, points []Point) {
+	for _, p := range points {
+		fmt.Fprintf(h, "%d|%t|%s|%d|%.9g|%.9g|%d|%d\n",
+			p.Stack, p.EC, p.Workload, p.BS, p.MBps, p.KIOPS,
+			int64(p.Mean), int64(p.P99))
+	}
+}
+
 // Digest returns an FNV-1a hash over every measured point, in run order.
 // Two runs with the same Config must produce the same digest — the
 // simulation is deterministic — so the self-test mode uses it to detect any
-// nondeterminism introduced by hot-path optimisations.
+// nondeterminism introduced by hot-path optimisations, and the runner's
+// property tests use it to prove parallel == serial.
 func (r *SWBaselineResult) Digest() uint64 {
 	h := fnv.New64a()
-	for _, ps := range [][]Point{r.Latency, r.Rate} {
-		for _, p := range ps {
-			fmt.Fprintf(h, "%d|%t|%s|%d|%.9g|%.9g|%d|%d\n",
-				p.Stack, p.EC, p.Workload, p.BS, p.MBps, p.KIOPS,
-				int64(p.Mean), int64(p.P99))
-		}
-	}
+	hashPoints(h, r.Latency)
+	hashPoints(h, r.Rate)
 	return h.Sum64()
 }
 
@@ -123,19 +138,15 @@ func HWSweep(cfg Config, ec bool) (*HWSweepResult, error) {
 	if ec {
 		stacks = []core.StackKind{core.StackD2HW, core.StackDKHW}
 	}
-	res := &HWSweepResult{EC: ec, Stacks: stacks}
-	for _, kind := range stacks {
-		for _, wl := range StdWorkloads {
-			for _, bs := range BlockSizes {
-				p, err := runPoint(cfg, kind, ec, wl, bs, cfg.QueueDepth, cfg.Ops)
-				if err != nil {
-					return nil, err
-				}
-				res.Points = append(res.Points, p)
-			}
-		}
+	cells := enumCells(stacks, StdWorkloads, BlockSizes)
+	points, err := RunCells(len(cells), func(i int) (Point, error) {
+		c := cells[i]
+		return runPoint(cfg, c.kind, ec, c.wl, c.bs, cfg.QueueDepth, cfg.Ops)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &HWSweepResult{EC: ec, Stacks: stacks, Points: points}, nil
 }
 
 // Fig6and7 runs the replication hardware sweep (one sweep backs both the
@@ -224,6 +235,13 @@ func (r *HWSweepResult) tables(throughput bool) []*metrics.Table {
 		out = append(out, t)
 	}
 	return out
+}
+
+// Digest returns an FNV-1a hash over the sweep's points in run order.
+func (r *HWSweepResult) Digest() uint64 {
+	h := fnv.New64a()
+	hashPoints(h, r.Points)
+	return h.Sum64()
 }
 
 // Speedup returns DK's gain over D2 for a workload and block size.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 	"repro/internal/fio"
@@ -34,6 +35,26 @@ func (r *RealWorldResult) Table() *metrics.Table {
 	t.AddRow("deliba-k-hw", r.DKElapsed.String(),
 		fmt.Sprintf("%.0f%%", r.Reduction()*100))
 	return t
+}
+
+// runTaskPair measures the same task on DeLiBA-2 and DeLiBA-K hardware as
+// two runner cells.
+func runTaskPair(cfg Config, name string, spec fio.JobSpec) (*RealWorldResult, error) {
+	kinds := []core.StackKind{core.StackD2HW, core.StackDKHW}
+	elapsed, err := RunCells(len(kinds), func(i int) (sim.Duration, error) {
+		return runTask(cfg, kinds[i], spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RealWorldResult{Name: name, D2Elapsed: elapsed[0], DKElapsed: elapsed[1]}, nil
+}
+
+// Digest folds the measured execution times into an FNV-1a hash.
+func (r *RealWorldResult) Digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d\n", r.Name, int64(r.D2Elapsed), int64(r.DKElapsed))
+	return h.Sum64()
 }
 
 func runTask(cfg Config, kind core.StackKind, spec fio.JobSpec) (sim.Duration, error) {
@@ -70,15 +91,7 @@ func OLAP(cfg Config) (*RealWorldResult, error) {
 		ThinkTime:  1100 * sim.Microsecond, // aggregation compute per batch
 		Seed:       cfg.Seed,
 	}
-	d2, err := runTask(cfg, core.StackD2HW, spec)
-	if err != nil {
-		return nil, err
-	}
-	dk, err := runTask(cfg, core.StackDKHW, spec)
-	if err != nil {
-		return nil, err
-	}
-	return &RealWorldResult{Name: "OLAP (table scan / bulk load)", D2Elapsed: d2, DKElapsed: dk}, nil
+	return runTaskPair(cfg, "OLAP (table scan / bulk load)", spec)
 }
 
 // OLTP models the transactional workload: small random reads and writes
@@ -95,15 +108,7 @@ func OLTP(cfg Config) (*RealWorldResult, error) {
 		ThinkTime:  25 * sim.Microsecond,
 		Seed:       cfg.Seed,
 	}
-	d2, err := runTask(cfg, core.StackD2HW, spec)
-	if err != nil {
-		return nil, err
-	}
-	dk, err := runTask(cfg, core.StackDKHW, spec)
-	if err != nil {
-		return nil, err
-	}
-	return &RealWorldResult{Name: "OLTP (transaction mix)", D2Elapsed: d2, DKElapsed: dk}, nil
+	return runTaskPair(cfg, "OLTP (transaction mix)", spec)
 }
 
 // HeadlineResult checks the abstract's claims: up to 3.2x IOPS and 3.45x

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -26,8 +27,30 @@ type RecoveryResult struct {
 }
 
 // Recovery populates a replicated pool, fails the busiest OSD, backfills,
-// and deep-scrubs the result.
+// and deep-scrubs the result. The single scenario is routed through the
+// runner as one cell so every experiment family shares the same dispatch
+// plumbing (and error semantics) regardless of parallelism.
 func Recovery(cfg Config) (*RecoveryResult, error) {
+	out, err := RunCells(1, func(int) (*RecoveryResult, error) {
+		return recoveryCell(cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// Digest folds the recovery cycle's outcome into an FNV-1a hash.
+func (r *RecoveryResult) Digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%.9g|%d|%d|%d|%t\n",
+		r.ObjectsStored, r.FailedOSD,
+		r.Planned.MovedPGs, r.Planned.TotalPGs, r.Planned.MovedFrac,
+		r.Moved, r.Bytes, int64(r.Elapsed), r.ScrubClean)
+	return h.Sum64()
+}
+
+func recoveryCell(cfg Config) (*RecoveryResult, error) {
 	eng := sim.NewEngine()
 	fabric := netsim.NewFabric(eng, 2*sim.Microsecond)
 	ccfg := rados.DefaultClusterConfig() // MemStore: functional

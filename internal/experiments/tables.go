@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"repro/internal/core"
@@ -206,28 +207,36 @@ var paperTable2 = map[string]map[string][4]float64{
 	},
 }
 
-// Table2 measures the I/O request latency grid of Table II.
+// Table2 measures the I/O request latency grid of Table II. The replication
+// and EC grids are enumerated as one cell list and fanned out together.
 func Table2(cfg Config) (*Table2Result, error) {
-	res := &Table2Result{}
-	for _, kind := range []core.StackKind{core.StackD1HW, core.StackD2HW, core.StackDKHW} {
-		for _, wl := range StdWorkloads {
-			p, err := runLatency(cfg, kind, false, wl, 4096)
-			if err != nil {
-				return nil, err
-			}
-			res.Replication = append(res.Replication, p)
+	repl := enumCells([]core.StackKind{core.StackD1HW, core.StackD2HW, core.StackDKHW},
+		StdWorkloads, []int{4096})
+	ecCells := enumCells([]core.StackKind{core.StackD2HW, core.StackDKHW},
+		StdWorkloads, []int{4096})
+	points, err := RunCells(len(repl)+len(ecCells), func(i int) (Point, error) {
+		if i < len(repl) {
+			c := repl[i]
+			return runLatency(cfg, c.kind, false, c.wl, c.bs)
 		}
+		c := ecCells[i-len(repl)]
+		return runLatency(cfg, c.kind, true, c.wl, c.bs)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, kind := range []core.StackKind{core.StackD2HW, core.StackDKHW} {
-		for _, wl := range StdWorkloads {
-			p, err := runLatency(cfg, kind, true, wl, 4096)
-			if err != nil {
-				return nil, err
-			}
-			res.Erasure = append(res.Erasure, p)
-		}
-	}
-	return res, nil
+	return &Table2Result{
+		Replication: points[:len(repl)],
+		Erasure:     points[len(repl):],
+	}, nil
+}
+
+// Digest returns an FNV-1a hash over the latency grid in run order.
+func (r *Table2Result) Digest() uint64 {
+	h := fnv.New64a()
+	hashPoints(h, r.Replication)
+	hashPoints(h, r.Erasure)
+	return h.Sum64()
 }
 
 // Latency returns the measured mean for a cell.

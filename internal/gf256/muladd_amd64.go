@@ -1,0 +1,110 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// maxFusedSrcs bounds how many sources the register-blocked kernels accept
+// per call; wider dot products (k+m > 64 codes do not occur in practice)
+// take the generic multi-pass path.
+const maxFusedSrcs = 64
+
+// useGFNI is set when the CPU offers GFNI alongside AVX512VL (and the OS
+// saves the extended state), letting one VGF2P8AFFINEQB replace the whole
+// split-nibble PSHUFB sequence per 32-byte block.
+var useGFNI bool
+
+// affineMatrices[c] is the 8x8 GF(2) bit matrix M with y = M·x equivalent
+// to y = Mul(c, x), in the qword layout VGF2P8AFFINEQB expects (row for
+// output bit b in qword byte 7-b). Column i of M is c*2^i: multiplication
+// by a constant is linear over GF(2), which is exactly what the affine
+// instruction evaluates per source byte.
+var affineMatrices [256]uint64
+
+func init() {
+	for c := 1; c < 256; c++ {
+		var rows [8]byte
+		for i := 0; i < 8; i++ {
+			p := Mul(byte(c), 1<<uint(i))
+			for b := 0; b < 8; b++ {
+				if p&(1<<uint(b)) != 0 {
+					rows[7-b] |= 1 << uint(i)
+				}
+			}
+		}
+		var m uint64
+		for i, r := range rows {
+			m |= uint64(r) << (8 * uint(i))
+		}
+		affineMatrices[c] = m
+	}
+}
+
+// gfMulAddGFNI accumulates n sources into dst over blocks*32 bytes:
+// dst = Σ products, overwriting dst (no read of dst). mats holds one affine
+// matrix per source, srcs one data pointer per source.
+//
+//go:noescape
+func gfMulAddGFNI(mats *uint64, srcs **byte, n int, dst *byte, blocks int)
+
+// gfMulAddAVX2 is the same fused accumulation through split-nibble PSHUFB
+// lookups; tabs holds one nibTable pointer per source.
+//
+//go:noescape
+func gfMulAddAVX2(tabs **nibTable, srcs **byte, n int, dst *byte, blocks int)
+
+func mulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(dst) < 32 || len(coeffs) > maxFusedSrcs || !(useGFNI || useAVX2) {
+		mulAddSlicesGeneric(coeffs, srcs, dst)
+		return
+	}
+	if useGFNI {
+		mulAddGFNI(coeffs, srcs, dst)
+		return
+	}
+	mulAddAVX2(coeffs, srcs, dst)
+}
+
+// mulAddGFNI packs the non-zero terms into flat matrix/pointer arrays (on
+// the stack: the asm declarations are noescape) and runs the GFNI kernel
+// over the whole-block prefix.
+func mulAddGFNI(coeffs []byte, srcs [][]byte, dst []byte) {
+	var mats [maxFusedSrcs]uint64
+	var ptrs [maxFusedSrcs]*byte
+	n := 0
+	for j, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		mats[n] = affineMatrices[c]
+		ptrs[n] = &srcs[j][0]
+		n++
+	}
+	if n == 0 {
+		clear(dst)
+		return
+	}
+	blocks := len(dst) >> 5
+	gfMulAddGFNI(&mats[0], &ptrs[0], n, &dst[0], blocks)
+	mulAddTail(coeffs, srcs, dst, blocks<<5)
+}
+
+// mulAddAVX2 is the PSHUFB-kernel twin of mulAddGFNI for pre-GFNI CPUs.
+func mulAddAVX2(coeffs []byte, srcs [][]byte, dst []byte) {
+	var tabs [maxFusedSrcs]*nibTable
+	var ptrs [maxFusedSrcs]*byte
+	n := 0
+	for j, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		tabs[n] = nibTableFor(c)
+		ptrs[n] = &srcs[j][0]
+		n++
+	}
+	if n == 0 {
+		clear(dst)
+		return
+	}
+	blocks := len(dst) >> 5
+	gfMulAddAVX2(&tabs[0], &ptrs[0], n, &dst[0], blocks)
+	mulAddTail(coeffs, srcs, dst, blocks<<5)
+}

@@ -1,0 +1,165 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func gfMulAddGFNI(mats *uint64, srcs **byte, n int, dst *byte, blocks int)
+//
+// Fused GF(256) dot product: dst = Σ_j mul(c_j, srcs_j), overwriting dst.
+// Each source contributes one VGF2P8AFFINEQB per 32-byte block (the affine
+// matrix for its coefficient, broadcast from mats); the partial products
+// accumulate in YMM registers so dst is stored once per block and never
+// loaded. The main loop runs four blocks (128 bytes) per iteration to
+// amortise the per-source matrix broadcast across four data registers.
+TEXT ·gfMulAddGFNI(SB), NOSPLIT, $0-40
+	MOVQ mats+0(FP), AX
+	MOVQ srcs+8(FP), BX
+	MOVQ n+16(FP), CX
+	MOVQ dst+24(FP), DI
+	MOVQ blocks+32(FP), DX
+	XORQ R8, R8 // byte offset into the source/dst streams
+
+quad:
+	CMPQ  DX, $4
+	JLT   single
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	VPXOR Y14, Y14, Y14
+	VPXOR Y15, Y15, Y15
+	XORQ  R9, R9
+
+quadsrc:
+	MOVQ           (BX)(R9*8), SI
+	VPBROADCASTQ   (AX)(R9*8), Y0
+	VMOVDQU        (SI)(R8*1), Y1
+	VMOVDQU        32(SI)(R8*1), Y2
+	VMOVDQU        64(SI)(R8*1), Y3
+	VMOVDQU        96(SI)(R8*1), Y4
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VGF2P8AFFINEQB $0, Y0, Y2, Y2
+	VGF2P8AFFINEQB $0, Y0, Y3, Y3
+	VGF2P8AFFINEQB $0, Y0, Y4, Y4
+	VPXOR          Y1, Y12, Y12
+	VPXOR          Y2, Y13, Y13
+	VPXOR          Y3, Y14, Y14
+	VPXOR          Y4, Y15, Y15
+	INCQ           R9
+	CMPQ           R9, CX
+	JLT            quadsrc
+
+	VMOVDQU Y12, (DI)(R8*1)
+	VMOVDQU Y13, 32(DI)(R8*1)
+	VMOVDQU Y14, 64(DI)(R8*1)
+	VMOVDQU Y15, 96(DI)(R8*1)
+	ADDQ    $128, R8
+	SUBQ    $4, DX
+	JMP     quad
+
+single:
+	TESTQ DX, DX
+	JZ    gdone
+	VPXOR Y12, Y12, Y12
+	XORQ  R9, R9
+
+singlesrc:
+	MOVQ           (BX)(R9*8), SI
+	VPBROADCASTQ   (AX)(R9*8), Y0
+	VMOVDQU        (SI)(R8*1), Y1
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VPXOR          Y1, Y12, Y12
+	INCQ           R9
+	CMPQ           R9, CX
+	JLT            singlesrc
+
+	VMOVDQU Y12, (DI)(R8*1)
+	ADDQ    $32, R8
+	DECQ    DX
+	JNZ     single
+
+gdone:
+	VZEROUPPER
+	RET
+
+// func gfMulAddAVX2(tabs **nibTable, srcs **byte, n int, dst *byte, blocks int)
+//
+// The pre-GFNI twin: the same one-pass accumulation with each source's
+// contribution resolved by the split-nibble VPSHUFB pair against its
+// nibTable (lo at +0, hi at +16 — same layout contract as gfMulXorAVX2).
+// Two blocks (64 bytes) per main iteration amortise the table broadcasts.
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-40
+	MOVQ tabs+0(FP), AX
+	MOVQ srcs+8(FP), BX
+	MOVQ n+16(FP), CX
+	MOVQ dst+24(FP), DI
+	MOVQ blocks+32(FP), DX
+
+	MOVQ         $0x0f0f0f0f0f0f0f0f, R11
+	MOVQ         R11, X15
+	VPBROADCASTQ X15, Y15 // nibble mask
+	XORQ         R8, R8   // byte offset
+
+pair:
+	CMPQ  DX, $2
+	JLT   last
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	XORQ  R9, R9
+
+pairsrc:
+	MOVQ           (AX)(R9*8), R10
+	MOVQ           (BX)(R9*8), SI
+	VBROADCASTI128 (R10), Y0       // lo table
+	VBROADCASTI128 16(R10), Y1     // hi table
+	VMOVDQU        (SI)(R8*1), Y2
+	VMOVDQU        32(SI)(R8*1), Y3
+	VPSRLW         $4, Y2, Y4
+	VPSRLW         $4, Y3, Y5
+	VPAND          Y15, Y2, Y2
+	VPAND          Y15, Y3, Y3
+	VPAND          Y15, Y4, Y4
+	VPAND          Y15, Y5, Y5
+	VPSHUFB        Y2, Y0, Y6
+	VPSHUFB        Y4, Y1, Y7
+	VPXOR          Y6, Y7, Y6
+	VPXOR          Y6, Y12, Y12
+	VPSHUFB        Y3, Y0, Y6
+	VPSHUFB        Y5, Y1, Y7
+	VPXOR          Y6, Y7, Y6
+	VPXOR          Y6, Y13, Y13
+	INCQ           R9
+	CMPQ           R9, CX
+	JLT            pairsrc
+
+	VMOVDQU Y12, (DI)(R8*1)
+	VMOVDQU Y13, 32(DI)(R8*1)
+	ADDQ    $64, R8
+	SUBQ    $2, DX
+	JMP     pair
+
+last:
+	TESTQ DX, DX
+	JZ    adone
+	VPXOR Y12, Y12, Y12
+	XORQ  R9, R9
+
+lastsrc:
+	MOVQ           (AX)(R9*8), R10
+	MOVQ           (BX)(R9*8), SI
+	VBROADCASTI128 (R10), Y0
+	VBROADCASTI128 16(R10), Y1
+	VMOVDQU        (SI)(R8*1), Y2
+	VPSRLW         $4, Y2, Y4
+	VPAND          Y15, Y2, Y2
+	VPAND          Y15, Y4, Y4
+	VPSHUFB        Y2, Y0, Y6
+	VPSHUFB        Y4, Y1, Y7
+	VPXOR          Y6, Y7, Y6
+	VPXOR          Y6, Y12, Y12
+	INCQ           R9
+	CMPQ           R9, CX
+	JLT            lastsrc
+
+	VMOVDQU Y12, (DI)(R8*1)
+
+adone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,69 @@
+//go:build amd64 && !purego
+
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMulAddKernelsDirect pins each vector kernel (where the CPU has it)
+// against the reference, independent of which one MulAddSlices dispatches
+// to: on GFNI machines this is the only coverage the PSHUFB fused kernel
+// gets.
+func TestMulAddKernelsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	run := func(name string, kern func(coeffs []byte, srcs [][]byte, dst []byte)) {
+		for _, n := range muladdLengths {
+			if n < 32 {
+				continue // direct kernels require at least one block
+			}
+			for _, k := range []int{1, 2, 5, 8} {
+				coeffs, srcs := buildCase(rng, k, n)
+				want := make([]byte, n)
+				got := make([]byte, n)
+				mulAddRef(coeffs, srcs, want)
+				kern(coeffs, srcs, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: k=%d n=%d diverges from reference", name, k, n)
+				}
+			}
+		}
+	}
+	if useGFNI {
+		run("gfni", mulAddGFNI)
+	} else {
+		t.Log("GFNI unavailable; kernel not exercised")
+	}
+	if useAVX2 {
+		run("avx2", mulAddAVX2)
+	} else {
+		t.Log("AVX2 unavailable; kernel not exercised")
+	}
+}
+
+// TestAffineMatricesMatchMul verifies the bit-matrix construction feeding
+// VGF2P8AFFINEQB: applying matrix c to x by scalar GF(2) arithmetic must
+// equal Mul(c, x) for every (c, x).
+func TestAffineMatricesMatchMul(t *testing.T) {
+	apply := func(m uint64, x byte) byte {
+		var y byte
+		for b := 0; b < 8; b++ {
+			row := byte(m >> (8 * uint(7-b)))
+			p := row & x
+			p ^= p >> 4
+			p ^= p >> 2
+			p ^= p >> 1
+			y |= (p & 1) << uint(b)
+		}
+		return y
+	}
+	for c := 1; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			if got, want := apply(affineMatrices[c], byte(x)), Mul(byte(c), byte(x)); got != want {
+				t.Fatalf("matrix %#x applied to %#x: got %#x want %#x", c, x, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// mulAddSlices routes to the portable multi-pass body on platforms without
+// the fused vector kernels.
+func mulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
+	mulAddSlicesGeneric(coeffs, srcs, dst)
+}

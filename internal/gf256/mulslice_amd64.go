@@ -34,6 +34,15 @@ func init() {
 	if xcr0&6 != 6 {
 		return
 	}
-	_, b, _, _ := cpuidraw(7, 0)
+	_, b, c7, _ := cpuidraw(7, 0)
 	useAVX2 = b&(1<<5) != 0
+	// GFNI kernels use EVEX-encoded YMM ops: they additionally need
+	// AVX512F+AVX512VL and the OS saving opmask/ZMM state (XCR0 bits 5-7).
+	const avx512f = 1 << 16
+	const avx512vl = 1 << 31
+	const gfni = 1 << 8
+	if useAVX2 && xcr0&0xe6 == 0xe6 &&
+		b&avx512f != 0 && b&avx512vl != 0 && c7&gfni != 0 {
+		useGFNI = true
+	}
 }
