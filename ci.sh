@@ -17,15 +17,23 @@ go test -race ./...
 
 # The parallel experiment runner is the one place goroutines touch shared
 # slices; race it explicitly so a future narrowing of the blanket run above
-# cannot silently drop it.
-echo "== go test -race (experiment runner) =="
-go test -race -count=1 ./internal/experiments/...
+# cannot silently drop it. The fault layer and the degraded-read/resilience
+# paths ride in the same stage: fault sweeps fan hermetic cells across the
+# runner's workers, so they are the newest cross-goroutine surface.
+echo "== go test -race (experiment runner + fault/resilience paths) =="
+go test -race -count=1 ./internal/experiments/... ./internal/faults/... \
+    ./internal/core/ ./internal/rados/ ./internal/erasure/
 
 # Fuzz seed corpus for the fused GF(256) kernel: runs the f.Add cases
 # (length 0, sub-block, non-multiple-of-32 tails, misalignment) as plain
 # tests — cheap enough for every CI run, -short included.
 echo "== gf256 fuzz seeds =="
 go test -run 'Fuzz' ./internal/gf256/
+
+# Fuzz seed corpus for the retry backoff: bounds (jitter in [base, cap]),
+# nil-rng upper-edge dominance, and same-seed replay, as plain tests.
+echo "== faults backoff fuzz seeds =="
+go test -run 'Fuzz' ./internal/faults/
 
 if [ "${1:-}" != "-short" ]; then
     # One iteration of every benchmark with allocation counts: catches

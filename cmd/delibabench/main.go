@@ -9,7 +9,7 @@
 //	delibabench -json out.json
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
-// realworld headline ablations dfx buckets recovery mtu
+// realworld headline ablations dfx buckets recovery mtu faults
 //
 // -parallel sets how many worker goroutines the experiment runner fans
 // sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
@@ -158,6 +158,13 @@ func selftestFamilies() []family {
 		}},
 		{"fig6", func(cfg experiments.Config) (uint64, error) {
 			res, err := experiments.Fig6and7(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
+		{"faults", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.FaultSweep(cfg)
 			if err != nil {
 				return 0, err
 			}
@@ -318,6 +325,13 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 			return err
 		}
 		printTables(experiments.MTUTable(rows))
+	}
+	if sel("faults") {
+		res, err := experiments.FaultSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table())
 	}
 	return nil
 }

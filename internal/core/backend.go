@@ -129,16 +129,16 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 						return
 					}
 					cb.after(cb.hlsExtra(rs.Spec, 1), func() {
-						cb.fan.WriteEC(cb.pool, e.Object, e.Off, e.Len, opts,
+						cb.fan.WriteECR(cb.pool, e.Object, e.Off, e.Len, opts,
 							fanDone(cb.prof.span(StageFanout)))
 					})
 				})
 			case op == Write:
-				cb.fan.WriteReplicated(cb.pool, e.Object, e.Off, e.Len, opts,
+				cb.fan.WriteReplicatedR(cb.pool, e.Object, e.Off, e.Len, opts,
 					fanDone(cb.prof.span(StageFanout)))
 			case cb.pool.Kind == rados.ECPool:
 				endFan := cb.prof.span(StageFanout)
-				cb.fan.ReadEC(cb.pool, e.Object, e.Off, e.Len, opts, func(needDecode bool, err error) {
+				cb.fan.ReadECR(cb.pool, e.Object, e.Off, e.Len, opts, func(needDecode bool, err error) {
 					endFan()
 					if err != nil || !needDecode {
 						done(err)
@@ -148,7 +148,7 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 					cb.shell.RS.Encode(e.Len, nil, func(err error) { done(err) })
 				})
 			default:
-				cb.fan.ReadReplicated(cb.pool, e.Object, e.Off, e.Len, opts,
+				cb.fan.ReadReplicatedR(cb.pool, e.Object, e.Off, e.Len, opts,
 					fanDone(cb.prof.span(StageFanout)))
 			}
 		})

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/rados"
 	"repro/internal/sim"
 )
 
@@ -106,4 +107,22 @@ func Do(p *sim.Proc, s Stack, op OpType, pattern Pattern, off int64, n int, cpu 
 	return blocking(p, func(done func(error)) {
 		s.Submit(op, pattern, off, n, cpu, done)
 	})
+}
+
+// DoDeadline is Do with a per-op deadline: it returns rados.ErrDeadline if
+// the I/O has not completed after d. The abandoned I/O keeps running in the
+// stack (its eventual completion is dropped), mirroring a timed-out block
+// request. d <= 0 waits forever.
+func DoDeadline(p *sim.Proc, s Stack, op OpType, pattern Pattern, off int64, n int, cpu int, d sim.Duration) error {
+	c := p.Engine().NewCompletion()
+	s.Submit(op, pattern, off, n, cpu, func(err error) { c.Complete(nil, err) })
+	if d <= 0 {
+		_, err := p.Await(c)
+		return err
+	}
+	_, err, ok := p.AwaitTimeout(c, d)
+	if !ok {
+		return rados.ErrDeadline
+	}
+	return err
 }

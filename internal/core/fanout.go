@@ -23,6 +23,9 @@ import (
 type Fanout struct {
 	Cluster *rados.Cluster
 	From    *netsim.Host
+	// Res, when non-nil, arms the resilient entry points (the *R methods in
+	// resilience.go): deadlines, retries and read failover.
+	Res *Resilience
 
 	up       []int // scratch: up members of the current acting set
 	replFree []*replOp

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// ResilienceConfig shapes the client-side fault tolerance of a testbed's
+// stacks: per-attempt deadlines, bounded retries with seeded full-jitter
+// backoff, read failover to replica OSDs, and degraded EC reads. The zero
+// value (Enabled false) is the pre-fault-injection configuration — no
+// policy objects are built and every hot path is bit-identical to a build
+// without this file.
+type ResilienceConfig struct {
+	Enabled bool
+	// Deadline bounds each attempt (lost messages surface as timeouts);
+	// 0 waits forever.
+	Deadline sim.Duration
+	// MaxRetries is the number of re-issues after the first attempt.
+	MaxRetries int
+	// BackoffBase/BackoffCap bound the retry delay window (see
+	// faults.Backoff).
+	BackoffBase sim.Duration
+	BackoffCap  sim.Duration
+	// Seed drives the backoff jitter stream.
+	Seed uint64
+}
+
+// DefaultResilienceConfig returns production-shaped resilience: deadlines
+// well above the healthy p999, a handful of retries, and a backoff window
+// wide enough to ride out transient fabric faults.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Enabled:     true,
+		Deadline:    5 * sim.Millisecond,
+		MaxRetries:  4,
+		BackoffBase: 50 * sim.Microsecond,
+		BackoffCap:  2 * sim.Millisecond,
+	}
+}
+
+// Resilience is the per-testbed runtime state: the policy, one seeded
+// jitter stream shared by every stack on the testbed (draws happen in
+// deterministic engine order), and the counters experiments report.
+type Resilience struct {
+	Cfg      ResilienceConfig
+	Counters metrics.Resilience
+
+	eng *sim.Engine
+	rng *sim.RNG
+}
+
+func newResilience(eng *sim.Engine, cfg ResilienceConfig) *Resilience {
+	return &Resilience{Cfg: cfg, eng: eng, rng: sim.NewRNG(cfg.Seed ^ 0xBAC0FF)}
+}
+
+// backoff draws the delay before retry attempt (0-based).
+func (r *Resilience) backoff(attempt int) sim.Duration {
+	return faults.Backoff(r.Cfg.BackoffBase, r.Cfg.BackoffCap, attempt, r.rng)
+}
+
+// retryPolicy adapts the testbed policy for the software rados client,
+// sharing the counters and the jitter stream.
+func (r *Resilience) retryPolicy() *rados.RetryPolicy {
+	return &rados.RetryPolicy{
+		Deadline:   r.Cfg.Deadline,
+		MaxRetries: r.Cfg.MaxRetries,
+		Backoff:    r.backoff,
+		Counters:   &r.Counters,
+	}
+}
+
+// retry drives issue through attempts: each gets a deadline timer
+// (cancelled via Engine.Cancel when the attempt settles first), failures
+// re-issue after a jittered backoff until MaxRetries is spent. A completion
+// from an abandoned attempt is dropped — `settled` is per-attempt, so late
+// results from a timed-out issue never double-complete done.
+func (r *Resilience) retry(issue func(attempt int, done func(error)), done func(error)) {
+	attempt := 0
+	var try func()
+	fail := func(err error) {
+		if attempt >= r.Cfg.MaxRetries {
+			done(err)
+			return
+		}
+		attempt++
+		r.Counters.Retries++
+		r.eng.Schedule(r.backoff(attempt-1), try)
+	}
+	try = func() {
+		settled := false
+		var timer sim.EventID
+		armed := r.Cfg.Deadline > 0
+		if armed {
+			timer = r.eng.Schedule(r.Cfg.Deadline, func() {
+				if settled {
+					return
+				}
+				settled = true
+				r.Counters.DeadlineExceeded++
+				fail(rados.ErrDeadline)
+			})
+		}
+		issue(attempt, func(err error) {
+			if settled {
+				return
+			}
+			settled = true
+			if armed {
+				r.eng.Cancel(timer)
+			}
+			if err == nil {
+				done(nil)
+				return
+			}
+			fail(err)
+		})
+	}
+	try()
+}
+
+// --- resilient Fanout entry points ---------------------------------------
+//
+// The R variants fall through to the plain methods when no resilience is
+// configured (one nil check — the fan-out hot path is untouched when off).
+// When on, writes retry in place, replicated reads fail over by rotating
+// the source replica per attempt, and EC reads count reconstruction.
+
+// WriteReplicatedR is WriteReplicated with deadline + retry.
+func (f *Fanout) WriteReplicatedR(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	if f.Res == nil {
+		f.WriteReplicated(pool, obj, off, n, opts, done)
+		return
+	}
+	f.Res.retry(func(_ int, cb func(error)) {
+		f.WriteReplicated(pool, obj, off, n, opts, cb)
+	}, done)
+}
+
+// ReadReplicatedR is ReadReplicated with deadline + retry + replica
+// failover.
+func (f *Fanout) ReadReplicatedR(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	if f.Res == nil {
+		f.ReadReplicated(pool, obj, off, n, opts, done)
+		return
+	}
+	f.Res.retry(func(attempt int, cb func(error)) {
+		f.readReplicatedShift(pool, obj, off, n, opts, attempt, cb)
+	}, done)
+}
+
+// WriteECR is WriteEC with deadline + retry.
+func (f *Fanout) WriteECR(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	if f.Res == nil {
+		f.WriteEC(pool, obj, off, n, opts, done)
+		return
+	}
+	f.Res.retry(func(_ int, cb func(error)) {
+		f.WriteEC(pool, obj, off, n, opts, cb)
+	}, done)
+}
+
+// ReadECR is ReadEC with deadline + retry; degraded gathers (parity shards
+// standing in for unreachable data shards) are counted per attempt.
+func (f *Fanout) ReadECR(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(needDecode bool, err error)) {
+	if f.Res == nil {
+		f.ReadEC(pool, obj, off, n, opts, done)
+		return
+	}
+	degraded := false
+	f.Res.retry(func(_ int, cb func(error)) {
+		f.ReadEC(pool, obj, off, n, opts, func(needDecode bool, err error) {
+			if needDecode {
+				degraded = true
+				f.Res.Counters.DegradedReads++
+			}
+			cb(err)
+		})
+	}, func(err error) { done(degraded, err) })
+}
+
+// readReplicatedShift is ReadReplicated reading from the (shift mod up)-th
+// up member of the acting set instead of the primary, the failover path for
+// retry attempt `shift`.
+func (f *Fanout) readReplicatedShift(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, shift int, done func(error)) {
+	c := f.Cluster
+	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
+	if err != nil {
+		done(err)
+		return
+	}
+	up := f.upSet(acting)
+	if len(up) == 0 {
+		done(fmt.Errorf("core: pg for %q has no up replicas", obj))
+		return
+	}
+	osd := up[shift%len(up)]
+	if shift > 0 && osd != up[0] {
+		f.Res.Counters.Failovers++
+	}
+	op := f.getRead()
+	op.opts, op.obj, op.off, op.n = opts, obj, off, n
+	op.osd, op.node, op.err, op.done = osd, c.NodeOf(osd), nil, done
+	c.Fabric.Send(f.From, op.node, rados.HdrBytes, op.send)
+}

@@ -158,7 +158,7 @@ func newDKHWStack(tb *Testbed, ec bool) (*dkHWStack, error) {
 		eng:   tb.Eng,
 		cm:    tb.CM,
 		shell: shell,
-		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost},
+		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res},
 		image: image,
 		pool:  pool,
 		prof:  tb.Profile,
@@ -291,7 +291,7 @@ func newD2HWStack(tb *Testbed, ec bool) (*d2HWStack, error) {
 		eng:   tb.Eng,
 		cm:    tb.CM,
 		shell: shell,
-		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost},
+		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res},
 		image: image,
 		pool:  pool,
 		hls:   true,
@@ -364,7 +364,7 @@ func newD1HWStack(tb *Testbed) (*d1HWStack, error) {
 		image:  image,
 		pool:   pool,
 		shell:  shell,
-		fan:    &Fanout{Cluster: tb.Cluster, From: hostNIC},
+		fan:    &Fanout{Cluster: tb.Cluster, From: hostNIC, Res: tb.Res},
 		daemon: tb.Eng.NewResource(1),
 	}, nil
 }
@@ -413,11 +413,11 @@ func (s *d1HWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int
 			var ferr error
 			if op == Write {
 				ferr = blocking(p, func(cb func(error)) {
-					s.fan.WriteReplicated(s.pool, e.Object, e.Off, e.Len, opts, cb)
+					s.fan.WriteReplicatedR(s.pool, e.Object, e.Off, e.Len, opts, cb)
 				})
 			} else {
 				ferr = blocking(p, func(cb func(error)) {
-					s.fan.ReadReplicated(s.pool, e.Object, e.Off, e.Len, opts, cb)
+					s.fan.ReadReplicatedR(s.pool, e.Object, e.Off, e.Len, opts, cb)
 				})
 			}
 			if ferr != nil && firstErr == nil {
@@ -486,6 +486,9 @@ func newSWClient(tb *Testbed, name string) (*rados.Client, error) {
 	client.ECEncodeCost = tb.CM.SWECEncode
 	client.ECDecodeCost = tb.CM.SWECDecode
 	client.Functional = tb.Cfg.Functional
+	if tb.Res != nil {
+		client.Retry = tb.Res.retryPolicy()
+	}
 	return client, nil
 }
 

@@ -34,6 +34,11 @@ type TestbedConfig struct {
 	// CM is the cost model; zero-value fields are filled from
 	// DefaultCostModel.
 	CM *CostModel
+	// Resilience configures client-side fault tolerance (deadlines,
+	// retries, failover). The zero value disables it: no policy objects are
+	// built and every stack's hot path is byte-for-byte the pre-resilience
+	// one.
+	Resilience ResilienceConfig
 
 	// --- ablation knobs (zero values = the paper's configuration) ------
 
@@ -81,6 +86,10 @@ type Testbed struct {
 	// Profile, when non-nil (EnableProfiling), receives per-stage latency
 	// histograms from stacks built afterwards.
 	Profile *StageProfile
+	// Res, when non-nil (Cfg.Resilience.Enabled), is the resilience state
+	// shared by every stack built on this testbed: one policy, one jitter
+	// stream, one set of counters.
+	Res *Resilience
 }
 
 // NewTestbed builds the cluster side.
@@ -124,7 +133,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{
+	tb := &Testbed{
 		Eng:       eng,
 		Cfg:       cfg,
 		CM:        *cfg.CM,
@@ -134,7 +143,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		ECPool:    ec,
 		ReplImage: replImg,
 		ECImage:   ecImg,
-	}, nil
+	}
+	if cfg.Resilience.Enabled {
+		tb.Res = newResilience(eng, cfg.Resilience)
+	}
+	return tb, nil
 }
 
 // StackKind names the buildable framework variants.

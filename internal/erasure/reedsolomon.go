@@ -187,6 +187,18 @@ func (c *Code) Verify(shards [][]byte) (bool, error) {
 // Reconstruct rebuilds all missing shards (entries that are nil) in place.
 // At least k shards must be present.
 func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData rebuilds only the missing data shards, leaving missing
+// parity entries nil. This is the degraded-read entry point: Join consumes
+// data shards alone, so a read that lost a data shard pays k dot products
+// at most and never the parity recompute a full Reconstruct would add.
+func (c *Code) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 	size, err := c.checkShards(shards, true)
 	if err != nil {
 		return err
@@ -235,6 +247,9 @@ func (c *Code) Reconstruct(shards [][]byte) error {
 	}
 
 	// Recompute missing parity shards from (now complete) data.
+	if dataOnly {
+		return nil
+	}
 	for _, idx := range missing {
 		if idx < c.k {
 			continue

@@ -1,0 +1,38 @@
+package faults
+
+import "repro/internal/sim"
+
+// Backoff returns the delay before retry attempt (0-based) of a failed
+// operation: capped exponential growth with full deterministic jitter.
+//
+// The jitter window for attempt a is [base, min(cap, base·2^a)], so the
+// result always satisfies base <= d <= cap (after clamping cap below base
+// to base). Drawing from rng keeps retries from synchronising across
+// clients while staying bit-reproducible: the same seeded rng replays the
+// same delays. A nil rng returns the window's upper edge (pure, jitter-free
+// backoff), which is what the fuzz oracle checks the jittered value
+// against.
+func Backoff(base, cap sim.Duration, attempt int, rng *sim.RNG) sim.Duration {
+	if base < 0 {
+		base = 0
+	}
+	if cap < base {
+		cap = base
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < cap; i++ {
+		ceil *= 2
+		if ceil <= 0 { // overflow: 2^a outran int64
+			ceil = cap
+			break
+		}
+	}
+	if ceil > cap {
+		ceil = cap
+	}
+	span := int64(ceil - base)
+	if span <= 0 || rng == nil {
+		return ceil
+	}
+	return base + sim.Duration(rng.Int63n(span+1))
+}

@@ -1,0 +1,25 @@
+package metrics
+
+// Resilience counts client-side recovery actions during a run. Experiments
+// surface these next to throughput/latency so the cost of surviving faults
+// (extra attempts, replica hops, decode work, abandoned ops) is visible,
+// not folded silently into the tail.
+type Resilience struct {
+	// Retries is the number of re-issued attempts after a failure or
+	// deadline (first attempts are not counted).
+	Retries uint64
+	// Failovers is the number of read attempts redirected to a non-primary
+	// replica.
+	Failovers uint64
+	// DegradedReads is the number of EC reads that needed parity shards
+	// (reconstruction) because a data shard was unreachable.
+	DegradedReads uint64
+	// DeadlineExceeded is the number of attempts abandoned at their
+	// per-attempt deadline.
+	DeadlineExceeded uint64
+}
+
+// Any reports whether any resilience action was taken.
+func (r Resilience) Any() bool {
+	return r.Retries != 0 || r.Failovers != 0 || r.DegradedReads != 0 || r.DeadlineExceeded != 0
+}

@@ -50,6 +50,17 @@ type NIC struct {
 	txBytes uint64
 	txMsgs  uint64
 	busy    sim.Duration
+	drops   uint64
+}
+
+// NICStats is a read-only snapshot of a NIC's transmit counters. Drops
+// counts messages the fault layer removed after they left this NIC, so
+// fault experiments can compare observed against configured loss.
+type NICStats struct {
+	TxBytes uint64
+	TxMsgs  uint64
+	Busy    sim.Duration
+	Drops   uint64
 }
 
 // NewNIC returns a NIC with the given line rate in bits per second.
@@ -77,6 +88,11 @@ func (n *NIC) reserve(at sim.Time, bytes int) sim.Time {
 	return n.nextFree
 }
 
+// Stats returns a snapshot of the NIC's transmit counters.
+func (n *NIC) Stats() NICStats {
+	return NICStats{TxBytes: n.txBytes, TxMsgs: n.txMsgs, Busy: n.busy, Drops: n.drops}
+}
+
 // TxBytes returns total bytes transmitted.
 func (n *NIC) TxBytes() uint64 { return n.txBytes }
 
@@ -85,6 +101,9 @@ func (n *NIC) TxMessages() uint64 { return n.txMsgs }
 
 // BusyTime returns cumulative wire-busy time.
 func (n *NIC) BusyTime() sim.Duration { return n.busy }
+
+// countDrop records one message lost after transmission.
+func (n *NIC) countDrop() { n.drops++ }
 
 // Host is a network endpoint with one NIC and a protocol stack profile.
 // Stack costs serialize on the host's stack processor: a host sending or
@@ -140,6 +159,12 @@ type Fabric struct {
 	eng         *sim.Engine
 	hosts       map[string]*Host
 	propagation sim.Duration
+	// faultHook, when set, is consulted once per wire message (self-sends
+	// excluded); returning true drops the message after the sender has paid
+	// its stack and wire costs — the receiver never sees it. The fault
+	// layer (internal/faults) installs loss, flap and partition models
+	// here; the healthy path pays one nil check.
+	faultHook func(src, dst *Host, n int) bool
 }
 
 // NewFabric returns a fabric with the given one-way propagation delay.
@@ -179,9 +204,23 @@ func (f *Fabric) Send(src, dst *Host, n int, onArrive func()) {
 	}
 	txReady := src.reserveStack(now, src.Stack.Cost(n))
 	depart := src.NIC.reserve(txReady, n)
+	if f.faultHook != nil && f.faultHook(src, dst, n) {
+		// Lost on the wire: the sender paid for the transmission but the
+		// message never arrives. Recovery is the caller's problem
+		// (deadlines + retry in the client path).
+		src.NIC.countDrop()
+		return
+	}
 	atNIC := depart.Add(f.propagation)
 	arrive := dst.reserveStack(atNIC, dst.Stack.Cost(n))
 	f.eng.At(arrive, onArrive)
+}
+
+// SetFaultHook installs (or, with nil, removes) the per-message fault
+// decision. The hook runs in engine context in deterministic message order,
+// so a seeded random source inside it replays bit-identically.
+func (f *Fabric) SetFaultHook(hook func(src, dst *Host, n int) bool) {
+	f.faultHook = hook
 }
 
 // SendWait is the Proc-blocking form of Send: it returns once the message

@@ -1,12 +1,36 @@
 package rados
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/crush"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
+
+// ErrDeadline marks an attempt abandoned at its per-attempt deadline. The
+// operation may still complete on the cluster (the attempt keeps running
+// unobserved), which is why only idempotent ops are retried this way.
+var ErrDeadline = errors.New("deadline exceeded")
+
+// RetryPolicy configures client-side resilience: per-attempt deadlines,
+// bounded retries with caller-supplied backoff, and read failover to
+// replica OSDs. A nil policy on the Client is the zero-cost healthy path —
+// every request is issued exactly once, as before.
+type RetryPolicy struct {
+	// Deadline bounds each attempt; 0 disables (attempts wait forever).
+	Deadline sim.Duration
+	// MaxRetries is the number of re-issues after the first attempt.
+	MaxRetries int
+	// Backoff returns the delay before retry attempt (0-based); nil retries
+	// immediately. Callers bind a seeded jitter source here (faults.Backoff)
+	// so retry timing replays deterministically.
+	Backoff func(attempt int) sim.Duration
+	// Counters, when non-nil, receives resilience accounting.
+	Counters *metrics.Resilience
+}
 
 // Client executes object operations against a Cluster using the software
 // primary-copy protocol (the Ceph baseline): the client talks to the acting
@@ -29,6 +53,8 @@ type Client struct {
 	// the erasure codec and stores. Benchmarks switch it off to model
 	// timing over synthetic payloads without the memory traffic.
 	Functional bool
+	// Retry, when non-nil, arms deadlines, retries and read failover.
+	Retry *RetryPolicy
 }
 
 // NewClient attaches a client host to the cluster's fabric.
@@ -61,10 +87,61 @@ func (cl *Client) Write(p *sim.Proc, pool *Pool, obj string, off int, data []byt
 
 // WriteOpts is Write with per-request service hints.
 func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
-	if pool.Kind == ECPool {
-		return cl.writeEC(p, pool, obj, off, data, opts)
+	if cl.Retry == nil {
+		if pool.Kind == ECPool {
+			return cl.writeEC(p, pool, obj, off, data, opts)
+		}
+		return cl.writeReplicated(p, pool, obj, off, data, opts)
 	}
-	return cl.writeReplicated(p, pool, obj, off, data, opts)
+	_, err := cl.withRetry(p, func(sp *sim.Proc, try int) (any, error) {
+		if pool.Kind == ECPool {
+			return nil, cl.writeEC(sp, pool, obj, off, data, opts)
+		}
+		return nil, cl.writeReplicated(sp, pool, obj, off, data, opts)
+	})
+	return err
+}
+
+// withRetry drives attempt through the retry policy. Each attempt runs in
+// its own proc so a deadline can abandon it: the attempt proc keeps running
+// to completion (the cluster may still apply the op), but nobody observes
+// its result — the same semantics as a timed-out RPC.
+func (cl *Client) withRetry(p *sim.Proc, attempt func(sp *sim.Proc, try int) (any, error)) (any, error) {
+	r := cl.Retry
+	eng := cl.Cluster.Eng
+	for try := 0; ; try++ {
+		c := eng.NewCompletion()
+		t := try
+		eng.Spawn("rados-attempt", func(sp *sim.Proc) {
+			v, err := attempt(sp, t)
+			c.Complete(v, err)
+		})
+		var v any
+		var err error
+		if r.Deadline > 0 {
+			var ok bool
+			v, err, ok = p.AwaitTimeout(c, r.Deadline)
+			if !ok {
+				if r.Counters != nil {
+					r.Counters.DeadlineExceeded++
+				}
+				v, err = nil, ErrDeadline
+			}
+		} else {
+			v, err = p.Await(c)
+		}
+		if err == nil || try >= r.MaxRetries {
+			return v, err
+		}
+		if r.Counters != nil {
+			r.Counters.Retries++
+		}
+		if r.Backoff != nil {
+			if d := r.Backoff(try); d > 0 {
+				p.Sleep(d)
+			}
+		}
+	}
 }
 
 func (cl *Client) writeReplicated(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
@@ -127,13 +204,30 @@ func (cl *Client) Read(p *sim.Proc, pool *Pool, obj string, off, n int) ([]byte,
 
 // ReadOpts is Read with per-request service hints.
 func (cl *Client) ReadOpts(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
-	if pool.Kind == ECPool {
-		return cl.readEC(p, pool, obj, off, n, opts)
+	if cl.Retry == nil {
+		if pool.Kind == ECPool {
+			return cl.readEC(p, pool, obj, off, n, opts)
+		}
+		return cl.readReplicated(p, pool, obj, off, n, opts, 0)
 	}
-	return cl.readReplicated(p, pool, obj, off, n, opts)
+	v, err := cl.withRetry(p, func(sp *sim.Proc, try int) (any, error) {
+		if pool.Kind == ECPool {
+			return cl.readEC(sp, pool, obj, off, n, opts)
+		}
+		return cl.readReplicated(sp, pool, obj, off, n, opts, try)
+	})
+	if err != nil {
+		return nil, err
+	}
+	data, _ := v.([]byte)
+	return data, nil
 }
 
-func (cl *Client) readReplicated(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+// readReplicated reads from one replica. shift rotates the source among the
+// up members of the acting set (retry attempt k reads from the k-th up
+// replica, mod the up count) so failed primaries fail over instead of being
+// re-asked forever; shift 0 is the plain primary read.
+func (cl *Client) readReplicated(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts, shift int) ([]byte, error) {
 	c := cl.Cluster
 	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
 	if err != nil {
@@ -142,6 +236,20 @@ func (cl *Client) readReplicated(p *sim.Proc, pool *Pool, obj string, off, n int
 	primary, ok := c.PrimaryFor(acting)
 	if !ok {
 		return nil, fmt.Errorf("rados: pg for %q has no up replicas", obj)
+	}
+	if shift > 0 {
+		up := make([]int, 0, len(acting))
+		for _, o := range acting {
+			if o != crush.ItemNone && c.OSDs[o].Up() {
+				up = append(up, o)
+			}
+		}
+		if o := up[shift%len(up)]; o != primary {
+			primary = o
+			if cl.Retry != nil && cl.Retry.Counters != nil {
+				cl.Retry.Counters.Failovers++
+			}
+		}
 	}
 	if cl.PlacementCost > 0 {
 		p.Sleep(cl.PlacementCost)
@@ -311,11 +419,16 @@ func (cl *Client) readEC(p *sim.Proc, pool *Pool, obj string, off, n int, opts R
 
 	var out []byte
 	if needDecode {
+		if cl.Retry != nil && cl.Retry.Counters != nil {
+			cl.Retry.Counters.DegradedReads++
+		}
 		p.Sleep(cl.ECDecodeCost(n))
 	}
 	if cl.Functional {
 		if needDecode {
-			if err := pool.Code.Reconstruct(gathered); err != nil {
+			// Degraded read: rebuild only the missing data shards — Join
+			// never touches parity, so recomputing it would be wasted work.
+			if err := pool.Code.ReconstructData(gathered); err != nil {
 				return nil, err
 			}
 		}

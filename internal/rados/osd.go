@@ -1,11 +1,17 @@
 package rados
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+// ErrOSDDown marks a request failed because its OSD is down or crashed
+// while holding it. Client retry logic matches it with errors.Is to decide
+// that another replica (or a later attempt) may still succeed.
+var ErrOSDDown = errors.New("osd down")
 
 // OpType distinguishes read from write service.
 type OpType int
@@ -74,10 +80,27 @@ type OSD struct {
 	lanes *sim.Resource
 	rng   *sim.RNG
 	up    bool
+	// slow multiplies mean service time while > 1 (fault injection models
+	// a degrading drive this way); 0 or 1 means healthy.
+	slow float64
+	// pending tracks accepted-but-uncompleted requests so a crash can fail
+	// them immediately (see SetUp / Drain).
+	pending []*pendingOp
 
 	// Latency of service (queueing + service, excluding network).
 	ServiceHist *metrics.Histogram
 	served      uint64
+	crashes     uint64
+}
+
+// pendingOp is one accepted request awaiting service. idx is its position
+// in the OSD's pending slice (swap-removal keeps completion O(1)); aborted
+// is set when a crash already failed the request, telling the service proc
+// not to complete it a second time.
+type pendingOp struct {
+	done    func(Result)
+	idx     int
+	aborted bool
 }
 
 // NewOSD constructs an OSD with the given profile and store.
@@ -100,11 +123,62 @@ func NewOSD(eng *sim.Engine, id int, profile OSDProfile, store ObjectStore) *OSD
 // Up reports whether the OSD is in service.
 func (o *OSD) Up() bool { return o.up }
 
-// SetUp marks the OSD up or down. A down OSD fails all new requests.
-func (o *OSD) SetUp(up bool) { o.up = up }
+// SetUp marks the OSD up or down. Going down is a crash: every queued and
+// in-flight request fails immediately with ErrOSDDown, so client retry
+// logic sees the failure at crash time rather than after the request would
+// have been served. Planned maintenance that lets in-flight work finish is
+// Drain.
+func (o *OSD) SetUp(up bool) {
+	if !up && o.up {
+		o.crash()
+	}
+	o.up = up
+}
+
+// Drain marks the OSD down gracefully: new requests are rejected but the
+// already-accepted ones run to completion (planned maintenance).
+func (o *OSD) Drain() { o.up = false }
+
+// crash fails every pending request with ErrOSDDown, scheduling the
+// failures at the current time in deterministic (pending-set) order.
+func (o *OSD) crash() {
+	o.crashes++
+	for _, pd := range o.pending {
+		pd.aborted = true
+		done := pd.done
+		id := o.ID
+		o.eng.Schedule(0, func() {
+			done(Result{Err: fmt.Errorf("rados: osd.%d crashed: %w", id, ErrOSDDown)})
+		})
+	}
+	o.pending = o.pending[:0]
+}
+
+// SetSlow sets the service-time multiplier (a degrading drive); factor <= 1
+// restores healthy timing.
+func (o *OSD) SetSlow(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	o.slow = factor
+}
+
+// SlowFactor returns the current service-time multiplier (1 = healthy).
+func (o *OSD) SlowFactor() float64 {
+	if o.slow < 1 {
+		return 1
+	}
+	return o.slow
+}
 
 // Served returns the number of completed requests.
 func (o *OSD) Served() uint64 { return o.served }
+
+// Crashes returns how many times the OSD crashed with work pending or not.
+func (o *OSD) Crashes() uint64 { return o.crashes }
+
+// InFlight returns the number of accepted, uncompleted requests.
+func (o *OSD) InFlight() int { return len(o.pending) }
 
 func (o *OSD) serviceTime(op OpType, n int, random bool) sim.Duration {
 	var base, perKiB sim.Duration
@@ -120,6 +194,9 @@ func (o *OSD) serviceTime(op OpType, n int, random bool) sim.Duration {
 		}
 	}
 	mean := base + sim.Duration(int64(perKiB)*int64(n)/1024)
+	if o.slow > 1 {
+		mean = sim.Duration(float64(mean) * o.slow)
+	}
 	if o.Profile.JitterFrac <= 0 {
 		return mean
 	}
@@ -150,10 +227,12 @@ func (o *OSD) Submit(op OpType, obj string, off int, data []byte, n int, done fu
 func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []byte, n int, done func(Result)) {
 	if !o.up {
 		o.eng.Schedule(0, func() {
-			done(Result{Err: fmt.Errorf("rados: osd.%d is down", o.ID)})
+			done(Result{Err: fmt.Errorf("rados: osd.%d is down: %w", o.ID, ErrOSDDown)})
 		})
 		return
 	}
+	pd := &pendingOp{done: done, idx: len(o.pending)}
+	o.pending = append(o.pending, pd)
 	start := o.eng.Now()
 	o.eng.Spawn(fmt.Sprintf("osd%d-%v", o.ID, op), func(p *sim.Proc) {
 		size := n
@@ -163,11 +242,12 @@ func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []by
 		o.lanes.Acquire(p, 1)
 		p.Sleep(o.serviceTime(op, size, opts.Random))
 		o.lanes.Release(1)
-		// A failure mid-queue still fails the request.
-		if !o.up {
-			done(Result{Err: fmt.Errorf("rados: osd.%d went down", o.ID)})
+		// A crash mid-queue already failed the request; do not complete it
+		// twice (the lane time above is the zombie occupying the drive).
+		if pd.aborted {
 			return
 		}
+		o.unregister(pd)
 		var res Result
 		switch op {
 		case OpWrite:
@@ -179,6 +259,15 @@ func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []by
 		o.ServiceHist.Record(o.eng.Now().Sub(start))
 		done(res)
 	})
+}
+
+// unregister swap-removes a completed request from the pending set.
+func (o *OSD) unregister(pd *pendingOp) {
+	last := len(o.pending) - 1
+	o.pending[pd.idx] = o.pending[last]
+	o.pending[pd.idx].idx = pd.idx
+	o.pending[last] = nil
+	o.pending = o.pending[:last]
 }
 
 // SubmitWait is the Proc-blocking form of Submit.
