@@ -24,6 +24,14 @@ echo "== go test -race (experiment runner + fault/resilience paths) =="
 go test -race -count=1 ./internal/experiments/... ./internal/faults/... \
     ./internal/core/ ./internal/rados/ ./internal/erasure/
 
+# Spec-table exhaustiveness: every named stack must assemble through
+# BuildStack and serve I/O, every ablation spec must validate, and every
+# invalid layer combination must be rejected — under the race detector, so
+# a spec-table edit cannot land with an unbuildable row.
+echo "== stack spec table (race) =="
+go test -race -count=1 -run 'TestNamedSpecsBuild|TestBuildStack|TestParseStackSpec|TestSQFullBackoff' ./internal/core/
+go test -race -count=1 -run 'TestAblationSpecsValid|TestGoldenDigests' ./internal/experiments/
+
 # Fuzz seed corpus for the fused GF(256) kernel: runs the f.Add cases
 # (length 0, sub-block, non-multiple-of-32 tails, misalignment) as plain
 # tests — cheap enough for every CI run, -short included.

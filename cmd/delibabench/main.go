@@ -7,6 +7,8 @@
 //	delibabench [-quick] [-parallel n] [-only fig3,fig6,tab2,...]
 //	delibabench -selftest [-iters n]
 //	delibabench -json out.json
+//	delibabench -stack deliba-k-hw
+//	delibabench -stack iouring,dmq-bypass,qdma,hls-crush,card-rtl,ec
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu faults
@@ -22,8 +24,14 @@
 // must get faster without its output changing by a single bit.
 //
 // -json writes a machine-readable report (quick-scale digests, serial vs
-// parallel wall-clock per experiment family, and erasure-kernel
-// micro-benchmarks) to the given path instead of printing tables.
+// parallel wall-clock per experiment family, per-stack stage-latency
+// profiles, and erasure-kernel micro-benchmarks) to the given path instead
+// of printing tables.
+//
+// -stack assembles one composition from a declarative spec — a named
+// generation or a comma-separated layer list (see core.ParseStackSpec) —
+// runs a short mixed workload on it, and prints throughput plus the
+// per-stage latency breakdown recorded at every layer boundary.
 package main
 
 import (
@@ -44,10 +52,18 @@ func main() {
 	iters := flag.Int("iters", 20, "self-test iterations")
 	par := flag.Int("parallel", 0, "experiment runner workers (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path")
+	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
 	flag.Parse()
 
 	experiments.SetParallelism(*par)
 
+	if *stackSpec != "" {
+		if err := runStack(*stackSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonPath != "" {
 		if err := writeJSONReport(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)

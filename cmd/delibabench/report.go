@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/erasure"
 	"repro/internal/experiments"
 	"repro/internal/gf256"
@@ -22,6 +23,7 @@ type benchReport struct {
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Parallelism int            `json:"parallelism"`
 	Families    []familyReport `json:"families"`
+	Stacks      []stackReport  `json:"stacks"`
 	Kernels     []kernelReport `json:"kernels"`
 }
 
@@ -32,6 +34,46 @@ type familyReport struct {
 	ParallelMs    float64 `json:"parallel_ms"`
 	Speedup       float64 `json:"speedup"`
 	DigestMatches bool    `json:"digest_matches"`
+}
+
+// stackReport carries one named composition's stage-latency profile from
+// the short -stack workload: every layer boundary the pipeline spans.
+type stackReport struct {
+	Name   string        `json:"name"`
+	MBps   float64       `json:"mb_per_s"`
+	KIOPS  float64       `json:"kiops"`
+	Stages []stageReport `json:"stages"`
+}
+
+type stageReport struct {
+	Stage  string  `json:"stage"`
+	Ops    int     `json:"ops"`
+	MeanUs float64 `json:"mean_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// stackReports profiles each of the paper's five stacks through the layer
+// pipeline with profiling enabled.
+func stackReports() ([]stackReport, error) {
+	var out []stackReport
+	for _, spec := range core.NamedSpecs() {
+		res, prof, err := profileStack(spec)
+		if err != nil {
+			return nil, fmt.Errorf("stack %s: %w", spec.Name, err)
+		}
+		sr := stackReport{Name: spec.Name, MBps: res.MBps(), KIOPS: res.KIOPS()}
+		for _, stage := range prof.Stages() {
+			h := prof.Stage(stage)
+			sr.Stages = append(sr.Stages, stageReport{
+				Stage:  stage,
+				Ops:    int(h.Count()),
+				MeanUs: float64(h.Mean()) / 1e3,
+				P99Us:  float64(h.Percentile(99)) / 1e3,
+			})
+		}
+		out = append(out, sr)
+	}
+	return out, nil
 }
 
 type kernelReport struct {
@@ -120,6 +162,11 @@ func writeJSONReport(path string) error {
 				fam.name, serial.digest, parallel.digest)
 		}
 	}
+	stacks, err := stackReports()
+	if err != nil {
+		return fmt.Errorf("json report: %w", err)
+	}
+	rep.Stacks = stacks
 	rep.Kernels = append(rep.Kernels, benchEncode(), benchReconstruct(), benchMulAdd())
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -129,8 +176,8 @@ func writeJSONReport(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("delibabench: wrote %s (%d families, %d kernel benches)\n",
-		path, len(rep.Families), len(rep.Kernels))
+	fmt.Printf("delibabench: wrote %s (%d families, %d stack profiles, %d kernel benches)\n",
+		path, len(rep.Families), len(rep.Stacks), len(rep.Kernels))
 	return nil
 }
 

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+)
+
+// stackJob is the short mixed workload -stack runs: enough random 4 kB
+// operations to populate every stage histogram without taking paper-scale
+// time.
+func stackJob(spec core.StackSpec) fio.JobSpec {
+	return fio.JobSpec{
+		Name:       spec.Name,
+		ReadPct:    50,
+		Pattern:    core.Rand,
+		BlockSize:  4096,
+		QueueDepth: 8,
+		Jobs:       2,
+		Ops:        400,
+		RampOps:    40,
+		Seed:       1,
+	}
+}
+
+// profileStack builds the spec'd stack on a fresh profiled testbed, runs
+// the short workload, and returns the fio result plus the stage profile.
+func profileStack(spec core.StackSpec) (*fio.Result, *core.StageProfile, error) {
+	cfg := core.DefaultTestbedConfig()
+	cfg.Jitter = false
+	tb, err := core.NewTestbed(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof := tb.EnableProfiling()
+	stack, err := tb.BuildStack(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := fio.Run(tb.Eng, stack, stackJob(spec))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prof, nil
+}
+
+// runStack is the -stack mode: assemble one composition from its spec
+// string, drive the short workload through it, and print the throughput
+// summary plus the per-stage latency breakdown recorded at every layer
+// boundary.
+func runStack(specStr string) error {
+	spec, err := core.ParseStackSpec(specStr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stack %s: %v / %v / %v / %v / %v (ec=%v)\n", spec.Name,
+		spec.HostAPI, spec.Block, spec.Transport, spec.Placement, spec.Fanout, spec.EC)
+	res, prof, err := profileStack(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Println(prof.Table())
+	return nil
+}

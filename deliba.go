@@ -38,6 +38,14 @@ type Stack = core.Stack
 // StackKind selects a framework variant.
 type StackKind = core.StackKind
 
+// StackSpec declares a stack composition layer by layer; build one with
+// Testbed.BuildStack. See core.StackSpec and DESIGN.md §9.7.
+type StackSpec = core.StackSpec
+
+// ParseStackSpec parses a stack name or comma-separated layer-token list
+// into a validated spec.
+func ParseStackSpec(s string) (StackSpec, error) { return core.ParseStackSpec(s) }
+
 // The five buildable framework variants.
 const (
 	// StackDKHW is hardware-accelerated DeLiBA-K (the paper's D3).

@@ -11,26 +11,31 @@ import (
 	"repro/internal/uifd"
 )
 
-// cardBackend is the FPGA-side pipeline shared by DeLiBA-2 and DeLiBA-K:
-// once a block request reaches the card, it is mapped to backing objects,
-// placed by a CRUSH accelerator, (for EC writes) encoded by the RS
-// accelerator, and fanned out to the OSD nodes over the card's own TCP/IP
-// stack. For DeLiBA-K the kernels and TCP path are RTL; for DeLiBA-2 the
-// HLS variants are modelled by scaling the kernel latency and using the HLS
-// stack profile on the card's fabric host.
+// cardBackend is the FPGA-side pipeline shared by every card-bearing
+// composition: once a block request reaches the card, it is mapped to
+// backing objects, placed by the Placement layer's CRUSH kernel, (for EC
+// writes) encoded by the RS accelerator, and fanned out to the OSD nodes
+// over the card's own TCP/IP stack. The layer kinds parameterise the
+// timing: the packetisation FSM cost follows the fan-out generation
+// (RTL vs. HLS TCP stack) and the kernel penalty scale follows the
+// placement generation.
 type cardBackend struct {
 	eng   *sim.Engine
 	cm    CostModel
 	shell *fpga.Shell
+	place Placement
 	fan   *Fanout
 	image *rbd.Image
 	pool  *rados.Pool
-	// hls selects DeLiBA-2's HLS timing.
-	hls bool
+	// procCost is the card's fixed per-I/O pipeline stage (descriptor
+	// handling + packetisation FSM) for this fan-out generation.
+	procCost sim.Duration
+	// kernelScale is the HLS slowdown charged on non-placement kernels
+	// (the RS encoder); 1 for RTL designs.
+	kernelScale float64
 	// prof optionally records stage latencies.
 	prof *StageProfile
-	// pipeNextFree serializes the card's fixed per-I/O pipeline stage
-	// (descriptor handling + packetisation FSM).
+	// pipeNextFree serializes the card's fixed per-I/O pipeline stage.
 	pipeNextFree sim.Time
 }
 
@@ -93,23 +98,16 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 	opts := rados.ReqOpts{Random: pattern == Rand}
 	pg := cb.fan.Cluster.PGOf(cb.pool, e.Object)
 
-	// Stage ④: the CRUSH kernel computes the placement on the card.
-	accel := cb.shell.Straw2
-	endAccel := cb.prof.span(StageAccel)
-	accel.Select(pg, cb.pool.Width(), func(_ []int, err error) {
-		endAccel()
+	// Stage ④: the placement layer's CRUSH kernel computes the placement
+	// on the card, returning its generation's kernel penalty.
+	cb.place.Select(pg, cb.pool.Width(), func(extra sim.Duration, err error) {
 		if err != nil {
 			done(err)
 			return
 		}
 		// The Fanout recomputes the identical placement internally; the
 		// accelerator charge above is the hardware time for it.
-		extra := cb.hlsExtra(accel.Spec, cb.pool.Width())
-		proc := cb.cm.CardProcessing
-		if cb.hls {
-			proc = cb.cm.HLSCardProcessing
-		}
-		cb.after(extra+cb.reservePipe(proc), func() {
+		cb.after(extra+cb.reservePipe(cb.procCost), func() {
 			fanDone := func(endFan func()) func(error) {
 				return func(err error) {
 					endFan()
@@ -158,10 +156,10 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 // hlsExtra returns the additional latency an HLS kernel pays over the RTL
 // redesign (zero for DeLiBA-K).
 func (cb *cardBackend) hlsExtra(spec fpga.KernelSpec, passes int) sim.Duration {
-	if !cb.hls || cb.cm.HLSLatencyScale <= 1 {
+	if cb.kernelScale <= 1 {
 		return 0
 	}
-	return sim.Duration(float64(spec.PipelineLatency()) * (cb.cm.HLSLatencyScale - 1) * float64(passes))
+	return sim.Duration(float64(spec.PipelineLatency()) * (cb.kernelScale - 1) * float64(passes))
 }
 
 func (cb *cardBackend) after(d sim.Duration, fn func()) {

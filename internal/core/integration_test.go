@@ -21,7 +21,7 @@ func TestSixStageLifecycleCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dk := stack.(*dkHWStack)
+	dk := stack.(*pipelineStack)
 	tb.Eng.Spawn("io", func(p *sim.Proc) {
 		for i := 0; i < 8; i++ {
 			if err := Do(p, stack, Write, Seq, int64(i)*4096, 4096, i%DKInstances); err != nil {
@@ -34,7 +34,7 @@ func TestSixStageLifecycleCounters(t *testing.T) {
 
 	// Stage ①: rings submitted and completed all ops without syscalls.
 	var enters, submitted, completed uint64
-	for _, r := range dk.rs.rings {
+	for _, r := range dk.Rings() {
 		e, s, c, _, _ := r.Stats()
 		enters += e
 		submitted += s
@@ -47,7 +47,7 @@ func TestSixStageLifecycleCounters(t *testing.T) {
 		t.Errorf("stage 1: submitted=%d completed=%d", submitted, completed)
 	}
 	// Stage ②: the DMQ bypass issued directly.
-	st := dk.mq.Stats()
+	st := dk.MQ().Stats()
 	if st.Submitted != 8 || st.Completed != 8 {
 		t.Errorf("stage 2: mq %+v", st)
 	}
@@ -55,19 +55,19 @@ func TestSixStageLifecycleCounters(t *testing.T) {
 		t.Errorf("stage 2: bypass not used: %+v", st)
 	}
 	// Stage ③: UIFD/QDMA carried every write.
-	if _, w := dk.drv.Stats(); w != 8 {
+	if _, w := dk.Driver().Stats(); w != 8 {
 		t.Errorf("stage 3: UIFD writes = %d", w)
 	}
 	qsCompletions := 0
-	for _, qs := range dk.drv.QueueSets() {
+	for _, qs := range dk.Driver().QueueSets() {
 		qsCompletions += qs.Completions()
 	}
 	if qsCompletions != 16 { // one H2C + one C2H per op
 		t.Errorf("stage 3: QDMA completions = %d, want 16", qsCompletions)
 	}
 	// Stage ④: the CRUSH kernel ran once per op.
-	if dk.shell.Straw2.Ops() != 8 {
-		t.Errorf("stage 4: accel ops = %d", dk.shell.Straw2.Ops())
+	if dk.Shell().Straw2.Ops() != 8 {
+		t.Errorf("stage 4: accel ops = %d", dk.Shell().Straw2.Ops())
 	}
 	// Stage ⑥: OSDs served 2 replicas per op over the card NIC.
 	served := uint64(0)
@@ -99,8 +99,8 @@ func TestDKHWAvailabilityThroughFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dk := stack.(*dkHWStack)
-	pol := NewReconfigPolicy(tb.Eng, dk.shell, mon)
+	dk := stack.(*pipelineStack)
+	pol := NewReconfigPolicy(tb.Eng, dk.Shell(), mon)
 	mon.Start()
 
 	const ops = 150
@@ -129,7 +129,7 @@ func TestDKHWAvailabilityThroughFailure(t *testing.T) {
 	}
 	// The policy re-evaluated on the map change; with 31 devices it stays
 	// on tree, so just require a live RM consistent with its decision.
-	rm := dk.shell.RP.Active()
+	rm := dk.Shell().RP.Active()
 	if rm == nil {
 		t.Fatal("no live RM after map change")
 	}

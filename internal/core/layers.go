@@ -1,0 +1,677 @@
+package core
+
+import (
+	"repro/internal/blockmq"
+	"repro/internal/fpga"
+	"repro/internal/iouring"
+	"repro/internal/legacyapi"
+	"repro/internal/netsim"
+	"repro/internal/qdma"
+	"repro/internal/rados"
+	"repro/internal/rbd"
+	"repro/internal/sim"
+	"repro/internal/uifd"
+)
+
+// This file is the imperative half of the stack pipeline: the five layer
+// interfaces a stack composes (host API, block layer, transport, placement,
+// fan-out), their implementations, and BuildStack, which wires a validated
+// StackSpec into a running Stack. Every DeLiBA generation — and any valid
+// hybrid — is one path through these constructors; none has a bespoke
+// stack type anymore.
+//
+// Fidelity note: the builders preserve the exact construction order and
+// event sequences of the old per-generation constructors (fabric host →
+// shell → card backend → QDMA/UIFD → blk-mq → rings, fused daemon CPU
+// charges, fused card pipeline reservations), because experiment digests
+// are bit-exact regression oracles and event tie-breaking is
+// creation-order sensitive.
+
+// HostAPI is how block I/O enters the stack: DeLiBA-K's io_uring ring set
+// or the DeLiBA-1/2 NBD daemon loop.
+type HostAPI interface {
+	Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error))
+	Close()
+}
+
+// BlockLayer is the kernel block layer between the host API and the
+// transport (DMQ bypass, mq-deadline, or none for the user-space daemons).
+type BlockLayer interface {
+	Kind() BlockKind
+	// MQ exposes the blk-mq instance; nil when the path has no kernel
+	// block queue (host-only transport folds the DMQ/RBD residency into
+	// the map cost; the NBD daemons bypass the kernel entirely).
+	MQ() *blockmq.MQ
+}
+
+// Transport is the host↔card data path (QDMA queue sets, the legacy DMA
+// engine, or nothing for host-only stacks).
+type Transport interface {
+	Kind() TransportKind
+	// Driver exposes the UIFD driver on the QDMA path (nil otherwise).
+	Driver() *uifd.Driver
+}
+
+// Placement computes CRUSH placement: an RTL or HLS kernel on the card, or
+// the software client (which embeds it in its request cost).
+type Placement interface {
+	Kind() PlacementKind
+	// Shell exposes the FPGA design hosting the kernels (nil for
+	// software placement).
+	Shell() *fpga.Shell
+	// Select computes placement asynchronously on the card; cont receives
+	// the post-selection kernel penalty to charge (the HLS slowdown) and
+	// any error.
+	Select(pg uint32, width int, cont func(penalty sim.Duration, err error))
+	// SelectOn computes placement from a blocked host proc — DeLiBA-1's
+	// offload round trip — sleeping the kernel penalty in-line.
+	SelectOn(p *sim.Proc, pg uint32, width int) error
+}
+
+// FanoutLayer is the network path that carries replica/shard fan-out: the
+// card NIC (RTL or HLS TCP/IP) or the host stack (raw Fanout for the D1
+// daemon, the Ceph client for the software baselines).
+type FanoutLayer interface {
+	Kind() FanoutKind
+	// Fan exposes the raw fan-out engine (nil on the client path).
+	Fan() *Fanout
+	// Client exposes the software Ceph client (nil on the card/host-NIC
+	// paths).
+	Client() *rados.Client
+}
+
+// --- host APIs -----------------------------------------------------------
+
+// uringHost adapts the shared ringSet to the HostAPI boundary.
+type uringHost struct{ rs *ringSet }
+
+func (h *uringHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+	h.rs.submit(op, pattern, off, n, cpu, done)
+}
+
+func (h *uringHost) Close() { h.rs.close() }
+
+// nbdDatapath is what an NBD daemon does with a request once its host path
+// cost is paid: cross to the card, call the client library, or run the
+// DeLiBA-1 per-extent offload interleave.
+type nbdDatapath interface {
+	// hostCPU is extra daemon CPU charged with the NBD path cost in one
+	// fused Resource.Use (splitting it would change contention).
+	hostCPU(op OpType, n int) sim.Duration
+	run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error
+}
+
+// nbdHost is the single-threaded NBD/user-space daemon loop shared by
+// DeLiBA-1/2: every request pays the legacy API crossings on one daemon
+// resource, sleeps the NBD socket round trip, then runs its datapath.
+type nbdHost struct {
+	tb       *Testbed
+	profile  legacyapi.CostProfile
+	daemon   *sim.Resource
+	procName string
+	path     nbdDatapath
+}
+
+func (h *nbdHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+	h.tb.Eng.Spawn(h.procName, func(p *sim.Proc) {
+		// The daemon is single-threaded, so its CPU time serializes
+		// across outstanding I/Os.
+		h.daemon.Use(p, 1, h.profile.PathCost(n)+h.path.hostCPU(op, n))
+		p.Sleep(h.tb.CM.NBDSocketRTT)
+		done(h.path.run(p, op, pattern, off, n))
+	})
+}
+
+func (h *nbdHost) Close() {}
+
+// --- NBD datapaths -------------------------------------------------------
+
+// legacyCardPath is DeLiBA-2's datapath: legacy DMA to the card (payload
+// for writes, command for reads), the card pipeline, DMA back.
+type legacyCardPath struct {
+	cm      CostModel
+	backend *cardBackend
+	prof    *StageProfile
+}
+
+func (dp *legacyCardPath) hostCPU(OpType, int) sim.Duration { return 0 }
+
+func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
+	// The transport span covers the full below-daemon round trip: H2C
+	// DMA, card residency, C2H DMA. Subtract the card stages to isolate
+	// the DMA path itself.
+	endTrans := dp.prof.span(StageTransport)
+	h2c := rados.HdrBytes
+	if op == Write {
+		h2c = n
+	}
+	p.Sleep(dp.cm.LegacyDMACost + pcieTime(h2c))
+	err := blocking(p, func(cb func(error)) {
+		dp.backend.process(op, pattern, off, n, cb)
+	})
+	c2h := rados.HdrBytes
+	if op == Read {
+		c2h = n
+	}
+	p.Sleep(dp.cm.LegacyDMACost + pcieTime(c2h))
+	endTrans()
+	return err
+}
+
+// clientPath is the software-baseline datapath: the user-space Ceph
+// library, extent by extent, on the daemon thread.
+type clientPath struct {
+	cm     CostModel
+	client *rados.Client
+	image  *rbd.Image
+	pool   *rados.Pool
+	prof   *StageProfile
+}
+
+func (dp *clientPath) hostCPU(op OpType, _ int) sim.Duration {
+	if op == Read {
+		return dp.cm.D2SWLibraryRead
+	}
+	return dp.cm.D2SWLibraryWrite
+}
+
+func (dp *clientPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
+	opts := rados.ReqOpts{Random: pattern == Rand}
+	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
+		endFan := dp.prof.span(StageFanout)
+		var operr error
+		if op == Write {
+			operr = dp.client.WriteOpts(p, dp.pool, e.Object, e.Off, zeros(e.Len), opts)
+		} else {
+			_, operr = dp.client.ReadOpts(p, dp.pool, e.Object, e.Off, e.Len, opts)
+		}
+		endFan()
+		return operr
+	})
+}
+
+// d1Path is DeLiBA-1's datapath: per extent, the payload and command
+// descriptors round-trip to the card for placement, then the HOST fans out
+// over its kernel TCP/IP stack on the same daemon thread (D1 had no FPGA
+// network stack).
+type d1Path struct {
+	tb     *Testbed
+	place  Placement
+	fan    *Fanout
+	image  *rbd.Image
+	pool   *rados.Pool
+	daemon *sim.Resource
+	prof   *StageProfile
+}
+
+func (dp *d1Path) hostCPU(OpType, int) sim.Duration { return 0 }
+
+func (dp *d1Path) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
+	cm := dp.tb.CM
+	opts := rados.ReqOpts{Random: pattern == Rand}
+	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
+		// The payload crosses to the card (the storage accelerators hash
+		// over the data) and back, since D1's network path is on the
+		// host; then a second round trip for the command descriptors.
+		endTrans := dp.prof.span(StageTransport)
+		p.Sleep(2 * (cm.LegacyDMACost + pcieTime(e.Len)))
+		p.Sleep(2 * (cm.LegacyDMACost + pcieTime(rados.HdrBytes)))
+		endTrans()
+		pg := dp.tb.Cluster.PGOf(dp.pool, e.Object)
+		if err := dp.place.SelectOn(p, pg, dp.pool.Width()); err != nil {
+			return err
+		}
+		// Host-side fan-out over the kernel TCP/IP stack: one sendmsg
+		// per replica and one recvmsg per ack, each a syscall + context
+		// switch, then an interrupt-driven completion wakeup — all on
+		// the single daemon thread.
+		msgs := dp.pool.Width()
+		if op == Read {
+			msgs = 1
+		}
+		dp.daemon.Use(p, 1,
+			sim.Duration(2*msgs)*(cm.D1Host.SyscallCost+cm.D1Host.ContextSwitchCost)+
+				sim.Duration(msgs)*cm.D1NetWakeup)
+		endFan := dp.prof.span(StageFanout)
+		var ferr error
+		if op == Write {
+			ferr = blocking(p, func(cb func(error)) {
+				dp.fan.WriteReplicatedR(dp.pool, e.Object, e.Off, e.Len, opts, cb)
+			})
+		} else {
+			ferr = blocking(p, func(cb func(error)) {
+				dp.fan.ReadReplicatedR(dp.pool, e.Object, e.Off, e.Len, opts, cb)
+			})
+		}
+		endFan()
+		return ferr
+	})
+}
+
+// --- block layers --------------------------------------------------------
+
+type dmqBlock struct {
+	kind BlockKind
+	mq   *blockmq.MQ
+}
+
+func (b *dmqBlock) Kind() BlockKind { return b.kind }
+func (b *dmqBlock) MQ() *blockmq.MQ { return b.mq }
+
+type noBlock struct{}
+
+func (noBlock) Kind() BlockKind { return BlockNone }
+func (noBlock) MQ() *blockmq.MQ { return nil }
+
+// --- transports ----------------------------------------------------------
+
+type qdmaTransport struct{ drv *uifd.Driver }
+
+func (t *qdmaTransport) Kind() TransportKind  { return TransportQDMA }
+func (t *qdmaTransport) Driver() *uifd.Driver { return t.drv }
+
+type legacyDMA struct{}
+
+func (legacyDMA) Kind() TransportKind  { return TransportLegacyDMA }
+func (legacyDMA) Driver() *uifd.Driver { return nil }
+
+type hostOnly struct{}
+
+func (hostOnly) Kind() TransportKind  { return TransportHostOnly }
+func (hostOnly) Driver() *uifd.Driver { return nil }
+
+// --- placements ----------------------------------------------------------
+
+// rtlPlacement is DeLiBA-K's straw2 kernel: full pipeline speed, no
+// penalty beyond the kernel occupancy itself.
+type rtlPlacement struct {
+	shell *fpga.Shell
+	prof  *StageProfile
+}
+
+func (pl *rtlPlacement) Kind() PlacementKind { return PlacementRTL }
+func (pl *rtlPlacement) Shell() *fpga.Shell  { return pl.shell }
+
+func (pl *rtlPlacement) Select(pg uint32, width int, cont func(sim.Duration, error)) {
+	end := pl.prof.span(StageAccel)
+	pl.shell.Straw2.Select(pg, width, func(_ []int, err error) {
+		end()
+		cont(0, err)
+	})
+}
+
+func (pl *rtlPlacement) SelectOn(p *sim.Proc, pg uint32, width int) error {
+	end := pl.prof.span(StageAccel)
+	_, err := pl.shell.Straw2.SelectWait(p, pg, width)
+	end()
+	return err
+}
+
+// hlsPlacement is the DeLiBA-1/2 HLS kernel: the same selection with the
+// HLS latency scale charged on top.
+type hlsPlacement struct {
+	shell *fpga.Shell
+	scale float64
+	prof  *StageProfile
+}
+
+func (pl *hlsPlacement) Kind() PlacementKind { return PlacementHLS }
+func (pl *hlsPlacement) Shell() *fpga.Shell  { return pl.shell }
+
+func (pl *hlsPlacement) penalty(passes int) sim.Duration {
+	if pl.scale <= 1 {
+		return 0
+	}
+	return sim.Duration(float64(pl.shell.Straw2.Spec.PipelineLatency()) *
+		(pl.scale - 1) * float64(passes))
+}
+
+func (pl *hlsPlacement) Select(pg uint32, width int, cont func(sim.Duration, error)) {
+	end := pl.prof.span(StageAccel)
+	pl.shell.Straw2.Select(pg, width, func(_ []int, err error) {
+		end()
+		cont(pl.penalty(width), err)
+	})
+}
+
+func (pl *hlsPlacement) SelectOn(p *sim.Proc, pg uint32, width int) error {
+	end := pl.prof.span(StageAccel)
+	_, err := pl.shell.Straw2.SelectWait(p, pg, width)
+	end()
+	if err != nil {
+		return err
+	}
+	p.Sleep(pl.penalty(width))
+	return nil
+}
+
+// swPlacement marks placement as computed inside the software client (its
+// request cost embeds SWPlacement); nothing runs on a card.
+type swPlacement struct{}
+
+func (swPlacement) Kind() PlacementKind { return PlacementSoftware }
+func (swPlacement) Shell() *fpga.Shell  { return nil }
+func (swPlacement) Select(_ uint32, _ int, cont func(sim.Duration, error)) {
+	cont(0, nil)
+}
+func (swPlacement) SelectOn(*sim.Proc, uint32, int) error { return nil }
+
+// --- fan-out layers ------------------------------------------------------
+
+// cardFanout is the card NIC's TCP/IP stack (RTL for DeLiBA-K, HLS for
+// DeLiBA-2) driving the raw fan-out engine.
+type cardFanout struct {
+	kind FanoutKind
+	fan  *Fanout
+}
+
+func (f *cardFanout) Kind() FanoutKind      { return f.kind }
+func (f *cardFanout) Fan() *Fanout          { return f.fan }
+func (f *cardFanout) Client() *rados.Client { return nil }
+
+// hostFanout is DeLiBA-1's host-NIC fan-out.
+type hostFanout struct{ fan *Fanout }
+
+func (f *hostFanout) Kind() FanoutKind      { return FanoutHostTCP }
+func (f *hostFanout) Fan() *Fanout          { return f.fan }
+func (f *hostFanout) Client() *rados.Client { return nil }
+
+// clientFanout is the software Ceph client (primary-copy protocol over the
+// host NIC, software CRUSH inside).
+type clientFanout struct{ client *rados.Client }
+
+func (f *clientFanout) Kind() FanoutKind      { return FanoutHostTCP }
+func (f *clientFanout) Fan() *Fanout          { return nil }
+func (f *clientFanout) Client() *rados.Client { return f.client }
+
+// --- the composed stack --------------------------------------------------
+
+// pipelineStack is the one Stack implementation: five layers assembled by
+// BuildStack.
+type pipelineStack struct {
+	tb    *Testbed
+	spec  StackSpec
+	image *rbd.Image
+	pool  *rados.Pool
+
+	host      HostAPI
+	block     BlockLayer
+	transport Transport
+	placement Placement
+	fanout    FanoutLayer
+}
+
+func (s *pipelineStack) Name() string { return s.spec.Name }
+
+func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+	if prof := s.tb.Profile; prof != nil {
+		end := prof.span(StageHostAPI)
+		inner := done
+		done = func(err error) {
+			end()
+			inner(err)
+		}
+	}
+	s.host.Submit(op, pattern, off, n, cpu, done)
+}
+
+func (s *pipelineStack) ImageBytes() int64 { return s.image.Size }
+
+func (s *pipelineStack) Close() { s.host.Close() }
+
+// Spec returns the composition this stack was built from.
+func (s *pipelineStack) Spec() StackSpec { return s.spec }
+
+// Shell exposes the FPGA design (for the DFX and power experiments); nil
+// for software placement.
+func (s *pipelineStack) Shell() *fpga.Shell { return s.placement.Shell() }
+
+// MQ exposes the blk-mq instance (for ablation statistics); nil off the
+// QDMA path.
+func (s *pipelineStack) MQ() *blockmq.MQ { return s.block.MQ() }
+
+// Driver exposes the UIFD driver; nil off the QDMA path.
+func (s *pipelineStack) Driver() *uifd.Driver { return s.transport.Driver() }
+
+// Rings exposes the io_uring instances; nil for NBD host APIs.
+func (s *pipelineStack) Rings() []*iouring.Ring {
+	if h, ok := s.host.(*uringHost); ok {
+		return h.rs.rings
+	}
+	return nil
+}
+
+// --- BuildStack ----------------------------------------------------------
+
+// BuildStack wires a StackSpec into a running stack over this testbed.
+// All five paper generations and every valid hybrid come out of this one
+// constructor; Validate decides what is buildable.
+func (tb *Testbed) BuildStack(spec StackSpec) (Stack, error) {
+	if spec.Name == "" {
+		spec.Name = spec.canonicalName()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pool, image := tb.poolAndImage(spec.EC)
+	s := &pipelineStack{tb: tb, spec: spec, image: image, pool: pool}
+
+	switch {
+	case spec.Transport == TransportQDMA:
+		if err := tb.buildURingCard(s); err != nil {
+			return nil, err
+		}
+	case spec.Transport == TransportHostOnly && spec.HostAPI == HostIOUring:
+		if err := tb.buildURingClient(s); err != nil {
+			return nil, err
+		}
+	case spec.Transport == TransportHostOnly:
+		if err := tb.buildNBDClient(s); err != nil {
+			return nil, err
+		}
+	case spec.Fanout == FanoutHostTCP:
+		if err := tb.buildNBDOffload(s); err != nil {
+			return nil, err
+		}
+	default:
+		if err := tb.buildNBDCard(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// cardNIC returns the fabric host name and network stack profile for a
+// card fan-out kind.
+func (tb *Testbed) cardNIC(kind FanoutKind) (string, netsim.StackCost) {
+	if kind == FanoutCardHLS {
+		return "fpga-hls", tb.CM.HLSStack
+	}
+	return "fpga-cmac", tb.CM.RTLStack
+}
+
+// buildCardSide wires the layers living on the card — fabric host, FPGA
+// shell with the placement kernels, fan-out engine, and the card backend —
+// shared by the QDMA and legacy-DMA card shapes.
+func (tb *Testbed) buildCardSide(s *pipelineStack) (*cardBackend, error) {
+	hostName, stack := tb.cardNIC(s.spec.Fanout)
+	cardHost, err := tb.Fabric.AddHost(hostName, tb.CM.NICBitsPerSec, stack)
+	if err != nil {
+		return nil, err
+	}
+	// HLS designs predate DFX: static shell, no swappable RMs.
+	shell, err := buildShell(tb, s.pool, s.spec.Placement == PlacementHLS)
+	if err != nil {
+		return nil, err
+	}
+	if s.spec.Placement == PlacementHLS {
+		s.placement = &hlsPlacement{shell: shell, scale: tb.CM.HLSLatencyScale, prof: tb.Profile}
+	} else {
+		s.placement = &rtlPlacement{shell: shell, prof: tb.Profile}
+	}
+	fan := &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res}
+	s.fanout = &cardFanout{kind: s.spec.Fanout, fan: fan}
+	procCost := tb.CM.CardProcessing
+	if s.spec.Fanout == FanoutCardHLS {
+		procCost = tb.CM.HLSCardProcessing
+	}
+	kernelScale := 1.0
+	if s.spec.Placement == PlacementHLS {
+		kernelScale = tb.CM.HLSLatencyScale
+	}
+	return &cardBackend{
+		eng:         tb.Eng,
+		cm:          tb.CM,
+		shell:       shell,
+		place:       s.placement,
+		fan:         fan,
+		image:       s.image,
+		pool:        s.pool,
+		procCost:    procCost,
+		kernelScale: kernelScale,
+		prof:        tb.Profile,
+	}, nil
+}
+
+// buildURingCard wires the full hardware pipeline: io_uring → DMQ → UIFD/
+// QDMA → card kernels → card NIC fan-out (DeLiBA-K's shape).
+func (tb *Testbed) buildURingCard(s *pipelineStack) error {
+	backend, err := tb.buildCardSide(s)
+	if err != nil {
+		return err
+	}
+	qe := qdma.New(tb.Eng, qdma.DefaultConfig())
+	queueKind := qdma.ReplicationQueue
+	if s.spec.EC {
+		queueKind = qdma.ErasureQueue
+	}
+	drv, err := uifd.NewDriver(tb.Eng, qe, backend, uifd.Config{
+		HWQueues: s.spec.ringInstances(),
+		Queue:    queueKind,
+	})
+	if err != nil {
+		return err
+	}
+	s.transport = &qdmaTransport{drv: drv}
+	mqCfg := blockmq.Config{
+		CPUs:      s.spec.ringInstances(),
+		HWQueues:  s.spec.ringInstances(),
+		TagsPerHW: 64,
+		Bypass:    true, // the DeLiBA-K DMQ scheduler bypass
+	}
+	if s.spec.Block == BlockMQDeadline {
+		mqCfg.Bypass = false
+		mqCfg.Scheduler = blockmq.NewDeadlineScheduler(tb.Eng,
+			1500*sim.Nanosecond, 5*sim.Millisecond)
+		mqCfg.InsertCost = 600 * sim.Nanosecond
+	}
+	mq, err := blockmq.New(tb.Eng, mqCfg, drv)
+	if err != nil {
+		return err
+	}
+	s.block = &dmqBlock{kind: s.spec.Block, mq: mq}
+	target := &dmqTarget{eng: tb.Eng, mq: mq, mapCost: tb.CM.DKRBDMapCost,
+		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile}
+	rs, err := newRingSet(tb, s.spec, target)
+	if err != nil {
+		return err
+	}
+	s.host = &uringHost{rs: rs}
+	return nil
+}
+
+// buildURingClient wires io_uring + kernel DMQ/RBD onto the software Ceph
+// client (the DeLiBA-K software baseline). The DMQ/RBD kernel residency is
+// folded into the ring target's map cost; there is no separate blk-mq
+// instance to expose.
+func (tb *Testbed) buildURingClient(s *pipelineStack) error {
+	client, err := newSWClient(tb, "client-dksw")
+	if err != nil {
+		return err
+	}
+	s.block = &dmqBlock{kind: s.spec.Block}
+	s.transport = hostOnly{}
+	s.placement = swPlacement{}
+	s.fanout = &clientFanout{client: client}
+	target := &radosTarget{tb: tb, client: client, image: s.image, pool: s.pool,
+		mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile}
+	rs, err := newRingSet(tb, s.spec, target)
+	if err != nil {
+		return err
+	}
+	s.host = &uringHost{rs: rs}
+	return nil
+}
+
+// buildNBDCard wires the NBD daemon onto the card over legacy DMA
+// (DeLiBA-2's shape).
+func (tb *Testbed) buildNBDCard(s *pipelineStack) error {
+	backend, err := tb.buildCardSide(s)
+	if err != nil {
+		return err
+	}
+	s.block = noBlock{}
+	s.transport = legacyDMA{}
+	s.host = &nbdHost{
+		tb:       tb,
+		profile:  tb.CM.D2Host,
+		daemon:   tb.Eng.NewResource(1),
+		procName: "d2hw-io",
+		path:     &legacyCardPath{cm: tb.CM, backend: backend, prof: tb.Profile},
+	}
+	return nil
+}
+
+// buildNBDOffload wires the NBD daemon with card placement offload but
+// host-side fan-out (DeLiBA-1's shape).
+func (tb *Testbed) buildNBDOffload(s *pipelineStack) error {
+	hostNIC, err := tb.Fabric.AddHost("client-d1", tb.CM.NICBitsPerSec, tb.CM.D1NetStack)
+	if err != nil {
+		return err
+	}
+	shell, err := buildShell(tb, s.pool, s.spec.Placement == PlacementHLS)
+	if err != nil {
+		return err
+	}
+	if s.spec.Placement == PlacementHLS {
+		s.placement = &hlsPlacement{shell: shell, scale: tb.CM.HLSLatencyScale, prof: tb.Profile}
+	} else {
+		s.placement = &rtlPlacement{shell: shell, prof: tb.Profile}
+	}
+	fan := &Fanout{Cluster: tb.Cluster, From: hostNIC, Res: tb.Res}
+	s.fanout = &hostFanout{fan: fan}
+	s.block = noBlock{}
+	s.transport = legacyDMA{}
+	daemon := tb.Eng.NewResource(1)
+	s.host = &nbdHost{
+		tb:       tb,
+		profile:  tb.CM.D1Host,
+		daemon:   daemon,
+		procName: "d1hw-io",
+		path: &d1Path{tb: tb, place: s.placement, fan: fan, image: s.image,
+			pool: s.pool, daemon: daemon, prof: tb.Profile},
+	}
+	return nil
+}
+
+// buildNBDClient wires the NBD daemon onto the user-space Ceph libraries
+// (the DeLiBA-2 software baseline).
+func (tb *Testbed) buildNBDClient(s *pipelineStack) error {
+	client, err := newSWClient(tb, "client-d2sw")
+	if err != nil {
+		return err
+	}
+	s.block = noBlock{}
+	s.transport = hostOnly{}
+	s.placement = swPlacement{}
+	s.fanout = &clientFanout{client: client}
+	s.host = &nbdHost{
+		tb:       tb,
+		profile:  tb.CM.D2Host,
+		daemon:   tb.Eng.NewResource(1),
+		procName: "d2sw-io",
+		path: &clientPath{cm: tb.CM, client: client, image: s.image,
+			pool: s.pool, prof: tb.Profile},
+	}
+	return nil
+}

@@ -80,13 +80,24 @@ func (sp *StageProfile) Table() *metrics.Table {
 	return t
 }
 
-// Stage name constants used by the DeLiBA-K pipeline.
+// Stage name constants, one per layer boundary of the stack pipeline.
+// Outer spans contain inner ones (host-api ⊃ kernel ⊃ transport ⊃ the card
+// stages); subtracting an inner stage from its container isolates that
+// boundary's own overhead.
 const (
-	// StageKernel is the full kernel+device round trip of a request: from
-	// the UIFD RBD mapping through DMQ, QDMA, the card pipeline and back.
+	// StageHostAPI is the whole-request residency in the host API layer:
+	// submit to completion through the ring set or the NBD daemon loop.
+	StageHostAPI = "host-api round-trip"
+	// StageKernel is the kernel block-layer round trip of a request: from
+	// the UIFD RBD mapping through DMQ, QDMA, the card pipeline and back
+	// (for host-only stacks, the kernel RBD mapping residency).
 	// Subtracting the accelerator and fan-out stages isolates the kernel
 	// overhead itself.
 	StageKernel = "kernel+device round-trip"
+	// StageTransport is the host↔card transport round trip: QDMA (from
+	// blk-mq dispatch to completion) or the legacy DMA crossings plus
+	// card residency. Host-only stacks record no transport span.
+	StageTransport = "transport round-trip"
 	// StageAccel is the CRUSH placement kernel occupancy.
 	StageAccel = "crush-accelerator"
 	// StageEncode is the RS encoder occupancy (EC writes).

@@ -34,7 +34,7 @@ func TestStageProfileRecordsPipeline(t *testing.T) {
 	tb.Eng.Run()
 	stack.Close()
 
-	for _, stage := range []string{StageKernel, StageAccel, StageEncode, StageFanout} {
+	for _, stage := range []string{StageHostAPI, StageKernel, StageTransport, StageAccel, StageEncode, StageFanout} {
 		h := prof.Stage(stage)
 		if h == nil || h.Count() == 0 {
 			t.Fatalf("stage %q not recorded", stage)
@@ -61,8 +61,18 @@ func TestStageProfileRecordsPipeline(t *testing.T) {
 	if !strings.Contains(out, StageFanout) {
 		t.Fatalf("table missing stages:\n%s", out)
 	}
-	if len(prof.Stages()) != 4 {
+	if len(prof.Stages()) != 6 {
 		t.Fatalf("stages = %v", prof.Stages())
+	}
+	if got := prof.Stage(StageHostAPI).Count(); got != 15 {
+		t.Fatalf("host-api stage ops = %d, want 15", got)
+	}
+	// The host-api span contains the kernel span, which contains transport.
+	if prof.Stage(StageHostAPI).Mean() < prof.Stage(StageKernel).Mean() {
+		t.Fatal("host-api round trip smaller than the kernel round trip")
+	}
+	if prof.Stage(StageKernel).Mean() < prof.Stage(StageTransport).Mean() {
+		t.Fatal("kernel round trip smaller than the transport round trip")
 	}
 }
 

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the declarative half of the stack pipeline: the five layer
+// kinds a DeLiBA generation is composed from, the StackSpec that names one
+// composition, the spec table for the paper's five stacks, and the
+// validation rules that reject combinations the modelled hardware cannot
+// form. The imperative half — turning a valid spec into a wired Stack — is
+// BuildStack in layers.go.
+
+// HostAPIKind selects how block I/O enters the host side of the stack.
+type HostAPIKind int
+
+const (
+	// HostIOUring is DeLiBA-K's per-core io_uring ring set (SQPOLL).
+	HostIOUring HostAPIKind = iota
+	// HostNBD is the DeLiBA-1/2 user-space NBD daemon loop.
+	HostNBD
+)
+
+// BlockKind selects the kernel block layer between the host API and the
+// transport.
+type BlockKind int
+
+const (
+	// BlockDMQBypass is DeLiBA-K's DMQ: blk-mq with the scheduler bypassed
+	// and direct per-core issue.
+	BlockDMQBypass BlockKind = iota
+	// BlockMQDeadline routes requests through an mq-deadline elevator
+	// (ablation ②).
+	BlockMQDeadline
+	// BlockNone skips the kernel block layer entirely (the NBD daemons
+	// talk to their device from user space).
+	BlockNone
+)
+
+// TransportKind selects the host↔card data path.
+type TransportKind int
+
+const (
+	// TransportQDMA is DeLiBA-K's UIFD + QDMA queue sets.
+	TransportQDMA TransportKind = iota
+	// TransportLegacyDMA is the DeLiBA-1/2 pre-QDMA DMA engine.
+	TransportLegacyDMA
+	// TransportHostOnly means no card at all: requests stay on the host
+	// and reach the cluster through the software Ceph client.
+	TransportHostOnly
+)
+
+// PlacementKind selects where CRUSH placement is computed.
+type PlacementKind int
+
+const (
+	// PlacementRTL is DeLiBA-K's RTL straw2 kernel (DFX-swappable).
+	PlacementRTL PlacementKind = iota
+	// PlacementHLS is the DeLiBA-1/2 HLS kernel (static shell, scaled
+	// latency).
+	PlacementHLS
+	// PlacementSoftware computes placement in the host Ceph client.
+	PlacementSoftware
+)
+
+// FanoutKind selects which network path carries replica/shard fan-out.
+type FanoutKind int
+
+const (
+	// FanoutCardRTL is DeLiBA-K's RTL TCP/IP stack on the card NIC.
+	FanoutCardRTL FanoutKind = iota
+	// FanoutCardHLS is DeLiBA-2's HLS TCP/IP stack on the card NIC.
+	FanoutCardHLS
+	// FanoutHostTCP fans out over the host kernel TCP/IP stack (DeLiBA-1
+	// and both software baselines).
+	FanoutHostTCP
+)
+
+func (k HostAPIKind) String() string {
+	return [...]string{"iouring", "nbd"}[k]
+}
+
+func (k BlockKind) String() string {
+	return [...]string{"dmq-bypass", "mq-deadline", "noblock"}[k]
+}
+
+func (k TransportKind) String() string {
+	return [...]string{"qdma", "legacy-dma", "hostonly"}[k]
+}
+
+func (k PlacementKind) String() string {
+	return [...]string{"rtl-crush", "hls-crush", "sw-crush"}[k]
+}
+
+func (k FanoutKind) String() string {
+	return [...]string{"card-rtl", "card-hls", "host-tcp"}[k]
+}
+
+// StackSpec declares one stack composition. The zero value is the full
+// DeLiBA-K hardware pipeline over the replicated pool.
+type StackSpec struct {
+	// Name labels the stack (Stack.Name). Empty derives a canonical
+	// "layer+layer+..." name in BuildStack.
+	Name string
+
+	HostAPI   HostAPIKind
+	Block     BlockKind
+	Transport TransportKind
+	Placement PlacementKind
+	Fanout    FanoutKind
+
+	// EC selects the erasure-coded pool and image instead of replicated.
+	EC bool
+
+	// --- io_uring host-API tuning (ablation knobs) ---------------------
+
+	// RingInterrupt switches the rings from SQPOLL to interrupt mode with
+	// per-batch enter syscalls (ablation ①).
+	RingInterrupt bool
+	// Instances overrides the ring/queue count (0 = the paper's 3).
+	Instances int
+	// RingEntries overrides the per-ring SQ depth (0 = 256).
+	RingEntries int
+}
+
+// Spec returns the declarative composition of one of the paper's five
+// stacks (Fig. 3): each generation is just a different row of this table.
+func Spec(kind StackKind) (StackSpec, error) {
+	switch kind {
+	case StackDKHW:
+		return StackSpec{Name: "deliba-k-hw", HostAPI: HostIOUring, Block: BlockDMQBypass,
+			Transport: TransportQDMA, Placement: PlacementRTL, Fanout: FanoutCardRTL}, nil
+	case StackDKSW:
+		return StackSpec{Name: "deliba-k-sw", HostAPI: HostIOUring, Block: BlockDMQBypass,
+			Transport: TransportHostOnly, Placement: PlacementSoftware, Fanout: FanoutHostTCP}, nil
+	case StackD2HW:
+		return StackSpec{Name: "deliba-2-hw", HostAPI: HostNBD, Block: BlockNone,
+			Transport: TransportLegacyDMA, Placement: PlacementHLS, Fanout: FanoutCardHLS}, nil
+	case StackD2SW:
+		return StackSpec{Name: "deliba-2-sw", HostAPI: HostNBD, Block: BlockNone,
+			Transport: TransportHostOnly, Placement: PlacementSoftware, Fanout: FanoutHostTCP}, nil
+	case StackD1HW:
+		return StackSpec{Name: "deliba-1-hw", HostAPI: HostNBD, Block: BlockNone,
+			Transport: TransportLegacyDMA, Placement: PlacementHLS, Fanout: FanoutHostTCP}, nil
+	default:
+		return StackSpec{}, fmt.Errorf("core: unknown stack kind %v", kind)
+	}
+}
+
+// NamedSpecs returns the spec table for all five paper stacks, in the
+// paper's generation order.
+func NamedSpecs() []StackSpec {
+	kinds := []StackKind{StackD1HW, StackD2SW, StackD2HW, StackDKSW, StackDKHW}
+	out := make([]StackSpec, 0, len(kinds))
+	for _, k := range kinds {
+		s, _ := Spec(k)
+		out = append(out, s)
+	}
+	return out
+}
+
+// canonicalName derives a stable layer-by-layer name for unnamed hybrids.
+func (s StackSpec) canonicalName() string {
+	name := fmt.Sprintf("%v+%v+%v+%v+%v", s.HostAPI, s.Block, s.Transport, s.Placement, s.Fanout)
+	if s.EC {
+		name += "+ec"
+	}
+	return name
+}
+
+// Validate rejects layer combinations the modelled hardware cannot form,
+// with errors that say which pair of layers conflicts and why.
+func (s StackSpec) Validate() error {
+	if s.HostAPI < HostIOUring || s.HostAPI > HostNBD {
+		return fmt.Errorf("core: spec %q: unknown host API %d", s.Name, int(s.HostAPI))
+	}
+	if s.Block < BlockDMQBypass || s.Block > BlockNone {
+		return fmt.Errorf("core: spec %q: unknown block layer %d", s.Name, int(s.Block))
+	}
+	if s.Transport < TransportQDMA || s.Transport > TransportHostOnly {
+		return fmt.Errorf("core: spec %q: unknown transport %d", s.Name, int(s.Transport))
+	}
+	if s.Placement < PlacementRTL || s.Placement > PlacementSoftware {
+		return fmt.Errorf("core: spec %q: unknown placement %d", s.Name, int(s.Placement))
+	}
+	if s.Fanout < FanoutCardRTL || s.Fanout > FanoutHostTCP {
+		return fmt.Errorf("core: spec %q: unknown fanout %d", s.Name, int(s.Fanout))
+	}
+
+	// Host API ↔ block layer: io_uring submits into the kernel block
+	// layer; the NBD daemons predate DMQ and never touch it.
+	if s.HostAPI == HostIOUring && s.Block == BlockNone {
+		return fmt.Errorf("core: spec %q: host API %v requires a kernel block layer (dmq-bypass or mq-deadline), not %v", s.Name, s.HostAPI, s.Block)
+	}
+	if s.HostAPI == HostNBD && s.Block != BlockNone {
+		return fmt.Errorf("core: spec %q: host API %v runs in user space and cannot drive block layer %v (use noblock)", s.Name, s.HostAPI, s.Block)
+	}
+
+	// Block layer ↔ transport: DMQ issues into UIFD/QDMA hardware
+	// contexts; with no card the kernel RBD target is host-only.
+	if s.Transport == TransportQDMA && s.HostAPI != HostIOUring {
+		return fmt.Errorf("core: spec %q: transport %v requires host API %v (UIFD binds blk-mq contexts to QDMA queue sets)", s.Name, s.Transport, HostIOUring)
+	}
+	if s.Transport == TransportLegacyDMA && s.HostAPI != HostNBD {
+		return fmt.Errorf("core: spec %q: transport %v is driven by the user-space daemon and requires host API %v", s.Name, s.Transport, HostNBD)
+	}
+	if s.Block == BlockMQDeadline && s.Transport != TransportQDMA {
+		return fmt.Errorf("core: spec %q: block layer %v only exists on the %v path", s.Name, s.Block, TransportQDMA)
+	}
+
+	// Placement ↔ transport: card kernels need a card; the software
+	// client needs no card at all.
+	cardTransport := s.Transport == TransportQDMA || s.Transport == TransportLegacyDMA
+	if s.Placement != PlacementSoftware && !cardTransport {
+		return fmt.Errorf("core: spec %q: placement %v runs on the card and requires transport %v or %v", s.Name, s.Placement, TransportQDMA, TransportLegacyDMA)
+	}
+	if s.Placement == PlacementSoftware && cardTransport {
+		return fmt.Errorf("core: spec %q: placement %v needs no card; transport %v would carry requests to one", s.Name, s.Placement, s.Transport)
+	}
+
+	// Fanout ↔ placement/transport: a card NIC can only fan out what the
+	// card placed; the host NIC serves the daemon and the software client.
+	switch s.Fanout {
+	case FanoutCardRTL, FanoutCardHLS:
+		if s.Placement == PlacementSoftware {
+			return fmt.Errorf("core: spec %q: fanout %v runs on the card and cannot use %v (the card never learns the placement)", s.Name, s.Fanout, s.Placement)
+		}
+	case FanoutHostTCP:
+		if s.Placement != PlacementSoftware && s.Transport != TransportLegacyDMA {
+			return fmt.Errorf("core: spec %q: fanout %v with card placement %v needs the %v offload round trip (the DeLiBA-1 shape)", s.Name, s.Fanout, s.Placement, TransportLegacyDMA)
+		}
+	}
+
+	// EC needs an RS path: the card's RS accelerator or the software
+	// client's codec. The D1 shape (card placement, host fan-out) has
+	// neither.
+	if s.EC && s.Fanout == FanoutHostTCP && s.Placement != PlacementSoftware {
+		return errNoECInD1
+	}
+
+	// Ring tuning is meaningless without rings.
+	if s.HostAPI != HostIOUring && (s.RingInterrupt || s.Instances != 0 || s.RingEntries != 0) {
+		return fmt.Errorf("core: spec %q: ring options (interrupt/instances/entries) require host API %v", s.Name, HostIOUring)
+	}
+	if s.Instances < 0 || s.Instances > 64 {
+		return fmt.Errorf("core: spec %q: instances %d out of range [0,64]", s.Name, s.Instances)
+	}
+	if s.RingEntries < 0 {
+		return fmt.Errorf("core: spec %q: negative ring entries %d", s.Name, s.RingEntries)
+	}
+	return nil
+}
+
+// ringInstances resolves the ring/queue count.
+func (s StackSpec) ringInstances() int {
+	if s.Instances > 0 {
+		return s.Instances
+	}
+	return DKInstances
+}
+
+// ringDepth resolves the per-ring SQ depth.
+func (s StackSpec) ringDepth() int {
+	if s.RingEntries > 0 {
+		return s.RingEntries
+	}
+	return ringEntries
+}
+
+// ParseStackSpec builds a spec from a command-line string: either one of
+// the five stack names ("deliba-k-hw", ...) or a comma-separated list of
+// layer tokens and options, e.g.
+//
+//	"iouring,dmq-bypass,qdma,rtl-crush,card-rtl,ec,instances=1"
+//
+// Omitted layers default to the DeLiBA-K hardware pipeline; the result is
+// validated.
+func ParseStackSpec(s string) (StackSpec, error) {
+	for _, kind := range []StackKind{StackDKHW, StackDKSW, StackD2HW, StackD2SW, StackD1HW} {
+		if s == kind.String() {
+			return Spec(kind)
+		}
+	}
+	var spec StackSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(tok, "instances="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return StackSpec{}, fmt.Errorf("core: bad instances %q", v)
+			}
+			spec.Instances = n
+			continue
+		}
+		if v, ok := strings.CutPrefix(tok, "entries="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return StackSpec{}, fmt.Errorf("core: bad entries %q", v)
+			}
+			spec.RingEntries = n
+			continue
+		}
+		switch tok {
+		case "iouring":
+			spec.HostAPI = HostIOUring
+		case "nbd":
+			spec.HostAPI = HostNBD
+		case "dmq-bypass":
+			spec.Block = BlockDMQBypass
+		case "mq-deadline":
+			spec.Block = BlockMQDeadline
+		case "noblock":
+			spec.Block = BlockNone
+		case "qdma":
+			spec.Transport = TransportQDMA
+		case "legacy-dma":
+			spec.Transport = TransportLegacyDMA
+		case "hostonly":
+			spec.Transport = TransportHostOnly
+		case "rtl-crush":
+			spec.Placement = PlacementRTL
+		case "hls-crush":
+			spec.Placement = PlacementHLS
+		case "sw-crush":
+			spec.Placement = PlacementSoftware
+		case "card-rtl":
+			spec.Fanout = FanoutCardRTL
+		case "card-hls":
+			spec.Fanout = FanoutCardHLS
+		case "host-tcp":
+			spec.Fanout = FanoutHostTCP
+		case "ec":
+			spec.EC = true
+		case "interrupt":
+			spec.RingInterrupt = true
+		default:
+			return StackSpec{}, fmt.Errorf("core: unknown stack layer token %q", tok)
+		}
+	}
+	spec.Name = spec.canonicalName()
+	if err := spec.Validate(); err != nil {
+		return StackSpec{}, err
+	}
+	return spec, nil
+}

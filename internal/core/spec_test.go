@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newSpecTestbed(t *testing.T) *Testbed {
+	t.Helper()
+	cfg := DefaultTestbedConfig()
+	cfg.Jitter = false
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestNamedSpecsBuild asserts the whole spec table is buildable: every one
+// of the paper's five stacks assembles through BuildStack and answers a
+// small I/O burst.
+func TestNamedSpecsBuild(t *testing.T) {
+	specs := NamedSpecs()
+	if len(specs) != 5 {
+		t.Fatalf("spec table has %d rows, want 5", len(specs))
+	}
+	wantNames := []string{"deliba-1-hw", "deliba-2-sw", "deliba-2-hw", "deliba-k-sw", "deliba-k-hw"}
+	for i, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if spec.Name != wantNames[i] {
+				t.Errorf("row %d named %q, want %q", i, spec.Name, wantNames[i])
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("table row invalid: %v", err)
+			}
+			tb := newSpecTestbed(t)
+			stack, err := tb.BuildStack(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stack.Name() != spec.Name {
+				t.Errorf("stack name %q, want %q", stack.Name(), spec.Name)
+			}
+			var ioErr error
+			tb.Eng.Spawn("io", func(p *sim.Proc) {
+				for i := 0; i < 4 && ioErr == nil; i++ {
+					ioErr = Do(p, stack, Write, Seq, int64(i)*4096, 4096, i)
+				}
+			})
+			tb.Eng.Run()
+			stack.Close()
+			if ioErr != nil {
+				t.Fatalf("I/O through %s: %v", spec.Name, ioErr)
+			}
+		})
+	}
+}
+
+// TestBuildStackRejectsInvalidCombos exercises every validation rule and
+// checks the error names the conflicting layers.
+func TestBuildStackRejectsInvalidCombos(t *testing.T) {
+	dk := func() StackSpec { s, _ := Spec(StackDKHW); return s }
+	cases := []struct {
+		name string
+		spec StackSpec
+		want string // substring the error must contain
+	}{
+		{"iouring-needs-block-layer", func() StackSpec {
+			s := dk()
+			s.Block = BlockNone
+			return s
+		}(), "requires a kernel block layer"},
+		{"nbd-cannot-drive-dmq", func() StackSpec {
+			s, _ := Spec(StackD2HW)
+			s.Block = BlockDMQBypass
+			return s
+		}(), "cannot drive block layer"},
+		{"qdma-needs-iouring", func() StackSpec {
+			s, _ := Spec(StackD2HW)
+			s.Transport = TransportQDMA
+			s.Block = BlockNone
+			return s
+		}(), "requires host API iouring"},
+		{"legacy-dma-needs-nbd", func() StackSpec {
+			s := dk()
+			s.Transport = TransportLegacyDMA
+			return s
+		}(), "requires host API nbd"},
+		{"mq-deadline-needs-qdma", func() StackSpec {
+			s, _ := Spec(StackDKSW)
+			s.Block = BlockMQDeadline
+			return s
+		}(), "only exists on the qdma path"},
+		{"card-placement-needs-card", func() StackSpec {
+			s, _ := Spec(StackDKSW)
+			s.Placement = PlacementRTL
+			return s
+		}(), "runs on the card and requires transport"},
+		{"sw-placement-forbids-card", func() StackSpec {
+			s := dk()
+			s.Placement = PlacementSoftware
+			return s
+		}(), "needs no card"},
+		{"card-fanout-needs-card-placement", func() StackSpec {
+			s, _ := Spec(StackDKSW)
+			s.Fanout = FanoutCardRTL
+			return s
+		}(), "the card never learns the placement"},
+		{"host-fanout-with-rtl-needs-legacy", func() StackSpec {
+			s := dk()
+			s.Fanout = FanoutHostTCP
+			return s
+		}(), "needs the legacy-dma offload round trip"},
+		{"ring-options-need-iouring", func() StackSpec {
+			s, _ := Spec(StackD2HW)
+			s.RingInterrupt = true
+			return s
+		}(), "ring options"},
+		{"instances-out-of-range", func() StackSpec {
+			s := dk()
+			s.Instances = 65
+			return s
+		}(), "out of range"},
+		{"negative-entries", func() StackSpec {
+			s := dk()
+			s.RingEntries = -1
+			return s
+		}(), "negative ring entries"},
+	}
+	tb := newSpecTestbed(t)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tb.BuildStack(tc.spec); err == nil {
+				t.Fatalf("BuildStack accepted invalid spec %+v", tc.spec)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// EC on the D1 shape lacks an RS path on either side of the DMA link.
+	d1, _ := Spec(StackD1HW)
+	d1.EC = true
+	if _, err := tb.BuildStack(d1); !errors.Is(err, errNoECInD1) {
+		t.Errorf("EC on D1 shape: err = %v, want errNoECInD1", err)
+	}
+}
+
+// TestBuildStackHybrid builds a composition that is none of the five named
+// generations — DeLiBA-K's datapath with the HLS placement kernel — to
+// prove layers actually compose beyond the table.
+func TestBuildStackHybrid(t *testing.T) {
+	spec, err := ParseStackSpec("iouring,dmq-bypass,qdma,hls-crush,card-rtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "iouring+dmq-bypass+qdma+hls-crush+card-rtl" {
+		t.Errorf("canonical name = %q", spec.Name)
+	}
+	tb := newSpecTestbed(t)
+	stack, err := tb.BuildStack(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ioErr error
+	tb.Eng.Spawn("io", func(p *sim.Proc) {
+		ioErr = Do(p, stack, Write, Seq, 0, 65536, 0)
+	})
+	tb.Eng.Run()
+	stack.Close()
+	if ioErr != nil {
+		t.Fatal(ioErr)
+	}
+	if ops := stack.(*pipelineStack).Shell().Straw2.Ops(); ops == 0 {
+		t.Error("hybrid stack never ran the placement kernel")
+	}
+}
+
+// TestParseStackSpec covers the named shortcuts, token lists, option
+// parsing, and rejection of junk.
+func TestParseStackSpec(t *testing.T) {
+	for _, kind := range []StackKind{StackDKHW, StackDKSW, StackD2HW, StackD2SW, StackD1HW} {
+		spec, err := ParseStackSpec(kind.String())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		want, _ := Spec(kind)
+		if spec != want {
+			t.Errorf("ParseStackSpec(%q) = %+v, want %+v", kind.String(), spec, want)
+		}
+	}
+
+	spec, err := ParseStackSpec("iouring,dmq-bypass,qdma,rtl-crush,card-rtl,ec,interrupt,instances=1,entries=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.EC || !spec.RingInterrupt || spec.Instances != 1 || spec.RingEntries != 64 {
+		t.Errorf("options not applied: %+v", spec)
+	}
+	if spec.ringInstances() != 1 || spec.ringDepth() != 64 {
+		t.Errorf("resolved instances=%d depth=%d", spec.ringInstances(), spec.ringDepth())
+	}
+
+	for _, bad := range []string{
+		"warpspeed",            // unknown token
+		"instances=lots",       // unparsable option
+		"nbd,dmq-bypass",       // fails validation
+		"iouring,noblock,qdma", // fails validation
+		"sw-crush",             // sw placement on default qdma transport
+	} {
+		if _, err := ParseStackSpec(bad); err == nil {
+			t.Errorf("ParseStackSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSQFullBackoffDeterministic drives a ring set sized far below the
+// offered load so the SQ-full retry path fires, and checks the seeded
+// jitter stream makes the replay identical run to run.
+func TestSQFullBackoffDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		cfg := DefaultTestbedConfig()
+		cfg.Jitter = false
+		tb, err := NewTestbed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := Spec(StackDKHW)
+		spec.Instances = 1
+		spec.RingEntries = 2
+		stack, err := tb.BuildStack(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := 0
+		for i := 0; i < 32; i++ {
+			off := int64(i) * 4096
+			tb.Eng.Spawn("io", func(p *sim.Proc) {
+				if err := Do(p, stack, Write, Seq, off, 4096, 0); err != nil {
+					t.Errorf("write at %d: %v", off, err)
+				}
+				done++
+			})
+		}
+		tb.Eng.Run()
+		stack.Close()
+		if done != 32 {
+			t.Fatalf("completed %d/32 writes", done)
+		}
+		return tb.Eng.Now()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d finished at %v, first at %v — backoff jitter not deterministic", i+2, again, first)
+		}
+	}
+}

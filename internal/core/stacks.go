@@ -1,17 +1,21 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/blockmq"
 	"repro/internal/fpga"
 	"repro/internal/iouring"
-	"repro/internal/qdma"
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
-	"repro/internal/uifd"
 )
+
+// This file holds the stack machinery shared across compositions: the
+// io_uring ring set, the two ring targets (DMQ/card and software client),
+// and the shell/client helpers. The layer implementations and BuildStack
+// live in layers.go; the declarative specs in spec.go.
 
 // DKInstances is the number of io_uring instances DeLiBA-K creates, each
 // pinned to its own CPU core (paper §III-A: "DeLiBA-K uses 3 instances").
@@ -19,6 +23,16 @@ const DKInstances = 3
 
 // ringEntries is the SQ depth per instance.
 const ringEntries = 256
+
+// SQ-full backoff: the application would spin on GetSQE; model the retry
+// with a seeded full-jitter delay (mean sqRetryBase + sqRetrySpread/2 =
+// 2µs, the old fixed retry) so contended replays are deterministic for a
+// given build, including under the -parallel cell runner.
+const (
+	sqRetryBase   = sim.Microsecond
+	sqRetrySpread = 2 * sim.Microsecond
+	sqRetrySeed   = 0xDE11BA4B
+)
 
 // errIO converts a CQE result to an error.
 func errIO(res int32) error {
@@ -28,33 +42,26 @@ func errIO(res int32) error {
 	return nil
 }
 
-// instances returns the configured ring/queue count.
-func (tb *Testbed) instances() int {
-	if tb.Cfg.Instances > 0 {
-		return tb.Cfg.Instances
-	}
-	return DKInstances
-}
-
-// ringSet manages DKInstances io_uring rings with per-ring completion
-// callback registries and reaper procs. It is shared by the DK hardware and
-// software stacks, whose difference is the ring Target.
+// ringSet manages the io_uring instances with per-ring completion callback
+// registries and reaper procs. It is shared by every io_uring host API;
+// compositions differ only in the ring Target.
 type ringSet struct {
 	eng       *sim.Engine
+	rng       *sim.RNG
 	rings     []*iouring.Ring
 	callbacks []map[uint64]func(error)
 	nextUD    []uint64
 }
 
-func newRingSet(tb *Testbed, target iouring.Target) (*ringSet, error) {
-	rs := &ringSet{eng: tb.Eng}
+func newRingSet(tb *Testbed, spec StackSpec, target iouring.Target) (*ringSet, error) {
+	rs := &ringSet{eng: tb.Eng, rng: sim.NewRNG(sqRetrySeed)}
 	mode := iouring.SQPollMode
-	if tb.Cfg.RingInterrupt {
+	if spec.RingInterrupt {
 		mode = iouring.InterruptMode
 	}
-	for i := 0; i < tb.instances(); i++ {
+	for i := 0; i < spec.ringInstances(); i++ {
 		ring, err := iouring.Setup(tb.Eng, iouring.Params{
-			Entries:       ringEntries,
+			Entries:       uint32(spec.ringDepth()),
 			Mode:          mode,
 			CPU:           i,
 			SyscallCost:   tb.CM.DKIOUringSyscall,
@@ -89,13 +96,14 @@ func (rs *ringSet) reap(p *sim.Proc, idx int) {
 	}
 }
 
-// submit queues one SQE on the cpu's ring; if the SQ is momentarily full it
-// retries after a short backoff (the application would spin on GetSQE).
+// submit queues one SQE on the cpu's ring; if the SQ is momentarily full
+// it retries after a seeded-jitter backoff.
 func (rs *ringSet) submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
 	idx := cpu % len(rs.rings)
 	sqe := rs.rings[idx].GetSQE()
 	if sqe == nil {
-		rs.eng.Schedule(2*sim.Microsecond, func() {
+		delay := sqRetryBase + sim.Duration(rs.rng.Int63n(int64(sqRetrySpread)))
+		rs.eng.Schedule(delay, func() {
 			rs.submit(op, pattern, off, n, cpu, done)
 		})
 		return
@@ -129,78 +137,6 @@ func (rs *ringSet) close() {
 	}
 }
 
-// --- DeLiBA-K hardware stack -------------------------------------------
-
-// dkHWStack is the full paper pipeline: io_uring (SQPOLL, per-core) → DMQ
-// (blk-mq with scheduler bypass) → UIFD → QDMA → FPGA shell (RTL CRUSH +
-// RS kernels) → RTL TCP/IP fan-out → OSD cluster.
-type dkHWStack struct {
-	tb    *Testbed
-	ec    bool
-	image *rbd.Image
-	rs    *ringSet
-	mq    *blockmq.MQ
-	drv   *uifd.Driver
-	shell *fpga.Shell
-}
-
-func newDKHWStack(tb *Testbed, ec bool) (*dkHWStack, error) {
-	pool, image := tb.poolAndImage(ec)
-	cardHost, err := tb.Fabric.AddHost("fpga-cmac", tb.CM.NICBitsPerSec, tb.CM.RTLStack)
-	if err != nil {
-		return nil, err
-	}
-	shell, err := buildShell(tb, pool, false)
-	if err != nil {
-		return nil, err
-	}
-	backend := &cardBackend{
-		eng:   tb.Eng,
-		cm:    tb.CM,
-		shell: shell,
-		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res},
-		image: image,
-		pool:  pool,
-		prof:  tb.Profile,
-	}
-	qe := qdma.New(tb.Eng, qdma.DefaultConfig())
-	queueKind := qdma.ReplicationQueue
-	if ec {
-		queueKind = qdma.ErasureQueue
-	}
-	drv, err := uifd.NewDriver(tb.Eng, qe, backend, uifd.Config{
-		HWQueues: tb.instances(),
-		Queue:    queueKind,
-	})
-	if err != nil {
-		return nil, err
-	}
-	mqCfg := blockmq.Config{
-		CPUs:      tb.instances(),
-		HWQueues:  tb.instances(),
-		TagsPerHW: 64,
-		Bypass:    true, // the DeLiBA-K DMQ scheduler bypass
-	}
-	if tb.Cfg.DisableDMQBypass {
-		mqCfg.Bypass = false
-		mqCfg.Scheduler = blockmq.NewDeadlineScheduler(tb.Eng,
-			1500*sim.Nanosecond, 5*sim.Millisecond)
-		mqCfg.InsertCost = 600 * sim.Nanosecond
-	}
-	mq, err := blockmq.New(tb.Eng, mqCfg, drv)
-	if err != nil {
-		return nil, err
-	}
-	s := &dkHWStack{tb: tb, ec: ec, image: image, mq: mq, drv: drv, shell: shell}
-	target := &dmqTarget{eng: tb.Eng, mq: mq, mapCost: tb.CM.DKRBDMapCost,
-		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile}
-	s.rs, err = newRingSet(tb, target)
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
 // buildShell constructs the FPGA design bound to the pool's placement rule.
 func buildShell(tb *Testbed, pool *rados.Pool, staticOnly bool) (*fpga.Shell, error) {
 	ruleName := "replicated_osd"
@@ -215,10 +151,10 @@ func buildShell(tb *Testbed, pool *rados.Pool, staticOnly bool) (*fpga.Shell, er
 	})
 }
 
-// dmqTarget adapts io_uring requests into the DMQ block layer: the UIFD RBD
-// driver's offset→object mapping cost is charged, then the request enters
-// blk-mq (bypass) toward the card. Write-path card overhead (descriptor +
-// doorbell + durability aggregation) rides on the request.
+// dmqTarget adapts io_uring requests into the DMQ block layer: the UIFD
+// RBD driver's offset→object mapping cost is charged, then the request
+// enters blk-mq (bypass) toward the card. Write-path card overhead
+// (descriptor + doorbell + durability aggregation) rides on the request.
 type dmqTarget struct {
 	eng        *sim.Engine
 	mq         *blockmq.MQ
@@ -236,210 +172,21 @@ func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
 	}
 	endKernel := t.prof.span(StageKernel)
 	t.eng.Schedule(t.mapCost+extra, func() {
+		// The transport span is the below-block-layer round trip: QDMA
+		// H2C, card residency, C2H. Subtract the card stages to isolate
+		// the transport itself.
+		endTrans := t.prof.span(StageTransport)
 		length := req.Len
 		t.mq.SubmitAsync(op, req.Off, int(req.Len), req.RWFlags, req.CPU, func(err error) {
+			endTrans()
 			endKernel()
 			if err != nil {
-				complete(-5)
+				complete(iouring.ResEIO)
 				return
 			}
 			complete(int32(length))
 		})
 	})
-}
-
-func (s *dkHWStack) Name() string { return "deliba-k-hw" }
-
-func (s *dkHWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	s.rs.submit(op, pattern, off, n, cpu, done)
-}
-
-func (s *dkHWStack) ImageBytes() int64 { return s.image.Size }
-
-func (s *dkHWStack) Close() { s.rs.close() }
-
-// Shell exposes the FPGA design (for the DFX and power experiments).
-func (s *dkHWStack) Shell() *fpga.Shell { return s.shell }
-
-// MQ exposes the block layer (for ablation statistics).
-func (s *dkHWStack) MQ() *blockmq.MQ { return s.mq }
-
-// --- DeLiBA-2 hardware stack ---------------------------------------------
-
-// d2HWStack: NBD user-space host path (5 context switches) → legacy DMA to
-// the card → HLS accelerators → HLS TCP/IP fan-out.
-type d2HWStack struct {
-	tb      *Testbed
-	image   *rbd.Image
-	backend *cardBackend
-	// daemon is the single-threaded NBD/user-space loop every request
-	// passes through.
-	daemon *sim.Resource
-}
-
-func newD2HWStack(tb *Testbed, ec bool) (*d2HWStack, error) {
-	pool, image := tb.poolAndImage(ec)
-	cardHost, err := tb.Fabric.AddHost("fpga-hls", tb.CM.NICBitsPerSec, tb.CM.HLSStack)
-	if err != nil {
-		return nil, err
-	}
-	shell, err := buildShell(tb, pool, true) // D2 predates DFX: static build
-	if err != nil {
-		return nil, err
-	}
-	backend := &cardBackend{
-		eng:   tb.Eng,
-		cm:    tb.CM,
-		shell: shell,
-		fan:   &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res},
-		image: image,
-		pool:  pool,
-		hls:   true,
-		prof:  tb.Profile,
-	}
-	return &d2HWStack{tb: tb, image: image, backend: backend,
-		daemon: tb.Eng.NewResource(1)}, nil
-}
-
-func (s *d2HWStack) Name() string { return "deliba-2-hw" }
-
-func (s *d2HWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	cm := s.tb.CM
-	s.tb.Eng.Spawn("d2hw-io", func(p *sim.Proc) {
-		// Host side: the NBD/user-space loop with its 5 crossings; the
-		// daemon is single-threaded, so its CPU time serializes.
-		s.daemon.Use(p, 1, cm.D2Host.PathCost(n))
-		p.Sleep(cm.NBDSocketRTT)
-		// Legacy DMA to the card (payload for writes, command for reads).
-		h2c := rados.HdrBytes
-		if op == Write {
-			h2c = n
-		}
-		p.Sleep(cm.LegacyDMACost + pcieTime(h2c))
-		err := blocking(p, func(cb func(error)) {
-			s.backend.process(op, pattern, off, n, cb)
-		})
-		// DMA back (payload for reads, completion for writes).
-		c2h := rados.HdrBytes
-		if op == Read {
-			c2h = n
-		}
-		p.Sleep(cm.LegacyDMACost + pcieTime(c2h))
-		done(err)
-	})
-}
-
-func (s *d2HWStack) ImageBytes() int64 { return s.image.Size }
-
-func (s *d2HWStack) Close() {}
-
-// --- DeLiBA-1 hardware stack ----------------------------------------------
-
-// d1HWStack: NBD host path (6 context switches) → card computes placement
-// (HLS kernels) → results return to the host → the HOST fans out over its
-// software TCP/IP stack (D1 had no FPGA network stack). No erasure coding.
-type d1HWStack struct {
-	tb    *Testbed
-	image *rbd.Image
-	pool  *rados.Pool
-	shell *fpga.Shell
-	fan   *Fanout
-	// daemon is DeLiBA-1's single-threaded user-space loop: the NBD path
-	// AND the per-replica socket I/O run on it.
-	daemon *sim.Resource
-}
-
-func newD1HWStack(tb *Testbed) (*d1HWStack, error) {
-	pool, image := tb.poolAndImage(false)
-	hostNIC, err := tb.Fabric.AddHost("client-d1", tb.CM.NICBitsPerSec, tb.CM.D1NetStack)
-	if err != nil {
-		return nil, err
-	}
-	shell, err := buildShell(tb, pool, true)
-	if err != nil {
-		return nil, err
-	}
-	return &d1HWStack{
-		tb:     tb,
-		image:  image,
-		pool:   pool,
-		shell:  shell,
-		fan:    &Fanout{Cluster: tb.Cluster, From: hostNIC, Res: tb.Res},
-		daemon: tb.Eng.NewResource(1),
-	}, nil
-}
-
-func (s *d1HWStack) Name() string { return "deliba-1-hw" }
-
-func (s *d1HWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	cm := s.tb.CM
-	s.tb.Eng.Spawn("d1hw-io", func(p *sim.Proc) {
-		s.daemon.Use(p, 1, cm.D1Host.PathCost(n))
-		p.Sleep(cm.NBDSocketRTT)
-		exts, err := s.image.Extents(off, n)
-		if err != nil {
-			done(err)
-			return
-		}
-		opts := rados.ReqOpts{Random: pattern == Rand}
-		var firstErr error
-		for _, e := range exts {
-			// The payload crosses to the card (the storage accelerators
-			// hash over the data) and back, since D1's network path is on
-			// the host.
-			p.Sleep(2 * (cm.LegacyDMACost + pcieTime(e.Len)))
-			// Placement offload round trip for the command descriptors.
-			p.Sleep(2 * (cm.LegacyDMACost + pcieTime(rados.HdrBytes)))
-			pg := s.tb.Cluster.PGOf(s.pool, e.Object)
-			if _, err := s.shell.Straw2.SelectWait(p, pg, s.pool.Width()); err != nil {
-				firstErr = err
-				continue
-			}
-			// HLS kernel penalty.
-			p.Sleep(sim.Duration(float64(s.shell.Straw2.Spec.PipelineLatency()) *
-				(cm.HLSLatencyScale - 1) * float64(s.pool.Width())))
-			// Host-side fan-out over the kernel TCP/IP stack: the D1
-			// daemon makes one sendmsg per replica and one recvmsg per
-			// ack, each a syscall + context switch, then takes an
-			// interrupt-driven completion wakeup — all on the single
-			// daemon thread.
-			msgs := s.pool.Width()
-			if op == Read {
-				msgs = 1
-			}
-			s.daemon.Use(p, 1,
-				sim.Duration(2*msgs)*(cm.D1Host.SyscallCost+cm.D1Host.ContextSwitchCost)+
-					sim.Duration(msgs)*cm.D1NetWakeup)
-			var ferr error
-			if op == Write {
-				ferr = blocking(p, func(cb func(error)) {
-					s.fan.WriteReplicatedR(s.pool, e.Object, e.Off, e.Len, opts, cb)
-				})
-			} else {
-				ferr = blocking(p, func(cb func(error)) {
-					s.fan.ReadReplicatedR(s.pool, e.Object, e.Off, e.Len, opts, cb)
-				})
-			}
-			if ferr != nil && firstErr == nil {
-				firstErr = ferr
-			}
-		}
-		done(firstErr)
-	})
-}
-
-func (s *d1HWStack) ImageBytes() int64 { return s.image.Size }
-
-func (s *d1HWStack) Close() {}
-
-// --- DeLiBA-K software baseline -------------------------------------------
-
-// dkSWStack: io_uring + kernel DMQ/RBD but no FPGA — the Ceph primary-copy
-// protocol over the host NIC with software CRUSH.
-type dkSWStack struct {
-	tb    *Testbed
-	image *rbd.Image
-	rs    *ringSet
 }
 
 // radosTarget routes ring submissions into the software Ceph client.
@@ -449,30 +196,34 @@ type radosTarget struct {
 	image   *rbd.Image
 	pool    *rados.Pool
 	mapCost sim.Duration
+	prof    *StageProfile
 }
 
 func (t *radosTarget) Submit(req iouring.Request, complete func(res int32)) {
 	t.tb.Eng.Spawn("dksw-io", func(p *sim.Proc) {
+		endKernel := t.prof.span(StageKernel)
 		p.Sleep(t.mapCost)
-		exts, err := t.image.Extents(req.Off, int(req.Len))
-		if err != nil {
-			complete(-22)
-			return
-		}
+		endKernel()
 		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0}
-		for _, e := range exts {
+		err := t.image.VisitExtents(req.Off, int(req.Len), true, func(e rbd.Extent) error {
+			endFan := t.prof.span(StageFanout)
 			var operr error
 			if req.Op == iouring.OpWrite {
 				operr = t.client.WriteOpts(p, t.pool, e.Object, e.Off, zeros(e.Len), opts)
 			} else {
 				_, operr = t.client.ReadOpts(p, t.pool, e.Object, e.Off, e.Len, opts)
 			}
-			if operr != nil {
-				complete(-5)
-				return
-			}
+			endFan()
+			return operr
+		})
+		switch {
+		case err == nil:
+			complete(int32(req.Len))
+		case errors.Is(err, rbd.ErrOutOfRange):
+			complete(iouring.ResEINVAL)
+		default:
+			complete(iouring.ResEIO)
 		}
-		complete(int32(req.Len))
 	})
 }
 
@@ -491,91 +242,3 @@ func newSWClient(tb *Testbed, name string) (*rados.Client, error) {
 	}
 	return client, nil
 }
-
-func newDKSWStack(tb *Testbed, ec bool) (*dkSWStack, error) {
-	pool, image := tb.poolAndImage(ec)
-	client, err := newSWClient(tb, "client-dksw")
-	if err != nil {
-		return nil, err
-	}
-	target := &radosTarget{tb: tb, client: client, image: image, pool: pool, mapCost: tb.CM.DKRBDMapCost}
-	s := &dkSWStack{tb: tb, image: image}
-	s.rs, err = newRingSet(tb, target)
-	if err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
-func (s *dkSWStack) Name() string { return "deliba-k-sw" }
-
-func (s *dkSWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	s.rs.submit(op, pattern, off, n, cpu, done)
-}
-
-func (s *dkSWStack) ImageBytes() int64 { return s.image.Size }
-
-func (s *dkSWStack) Close() { s.rs.close() }
-
-// --- DeLiBA-2 software baseline -------------------------------------------
-
-// d2SWStack: NBD + user-space Ceph libraries, software CRUSH, primary-copy
-// over the host NIC.
-type d2SWStack struct {
-	tb     *Testbed
-	image  *rbd.Image
-	pool   *rados.Pool
-	client *rados.Client
-	// daemon is the single-threaded NBD + librbd user-space loop.
-	daemon *sim.Resource
-}
-
-func newD2SWStack(tb *Testbed, ec bool) (*d2SWStack, error) {
-	pool, image := tb.poolAndImage(ec)
-	client, err := newSWClient(tb, "client-d2sw")
-	if err != nil {
-		return nil, err
-	}
-	return &d2SWStack{tb: tb, image: image, pool: pool, client: client,
-		daemon: tb.Eng.NewResource(1)}, nil
-}
-
-func (s *d2SWStack) Name() string { return "deliba-2-sw" }
-
-func (s *d2SWStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	cm := s.tb.CM
-	s.tb.Eng.Spawn("d2sw-io", func(p *sim.Proc) {
-		lib := cm.D2SWLibraryWrite
-		if op == Read {
-			lib = cm.D2SWLibraryRead
-		}
-		// The NBD path and the user-space Ceph library both execute on
-		// the single daemon thread; their CPU time serializes across
-		// outstanding I/Os (the scaling wall io_uring + kernel RBD remove).
-		s.daemon.Use(p, 1, cm.D2Host.PathCost(n)+lib)
-		p.Sleep(cm.NBDSocketRTT)
-		exts, err := s.image.Extents(off, n)
-		if err != nil {
-			done(err)
-			return
-		}
-		opts := rados.ReqOpts{Random: pattern == Rand}
-		var firstErr error
-		for _, e := range exts {
-			var operr error
-			if op == Write {
-				operr = s.client.WriteOpts(p, s.pool, e.Object, e.Off, zeros(e.Len), opts)
-			} else {
-				_, operr = s.client.ReadOpts(p, s.pool, e.Object, e.Off, e.Len, opts)
-			}
-			if operr != nil && firstErr == nil {
-				firstErr = operr
-			}
-		}
-		done(firstErr)
-	})
-}
-
-func (s *d2SWStack) ImageBytes() int64 { return s.image.Size }
-
-func (s *d2SWStack) Close() {}

@@ -193,24 +193,24 @@ func (tb *Testbed) poolAndImage(ec bool) (*rados.Pool, *rbd.Image) {
 	return tb.ReplPool, tb.ReplImage
 }
 
-// NewStack constructs a framework stack over this testbed. ec selects the
-// erasure-coded pool instead of the replicated one.
+// NewStack constructs a framework stack over this testbed: the kind's
+// declarative spec, overlaid with the testbed's legacy ablation knobs,
+// handed to BuildStack. ec selects the erasure-coded pool instead of the
+// replicated one.
 func (tb *Testbed) NewStack(kind StackKind, ec bool) (Stack, error) {
-	switch kind {
-	case StackDKHW:
-		return newDKHWStack(tb, ec)
-	case StackD2HW:
-		return newD2HWStack(tb, ec)
-	case StackD1HW:
-		if ec {
-			return nil, errNoECInD1
-		}
-		return newD1HWStack(tb)
-	case StackDKSW:
-		return newDKSWStack(tb, ec)
-	case StackD2SW:
-		return newD2SWStack(tb, ec)
-	default:
-		return nil, fmt.Errorf("core: unknown stack kind %v", kind)
+	spec, err := Spec(kind)
+	if err != nil {
+		return nil, err
 	}
+	spec.EC = ec
+	if spec.HostAPI == HostIOUring {
+		spec.RingInterrupt = tb.Cfg.RingInterrupt
+		if tb.Cfg.Instances > 0 {
+			spec.Instances = tb.Cfg.Instances
+		}
+		if tb.Cfg.DisableDMQBypass && spec.Transport == TransportQDMA {
+			spec.Block = BlockMQDeadline
+		}
+	}
+	return tb.BuildStack(spec)
 }

@@ -40,22 +40,25 @@ func (a *AblationResult) Table() *metrics.Table {
 	return t
 }
 
-// runDKVariant measures DK-HW with a mutated testbed config: throughput
-// under the loaded configuration, and latency at queue depth 1 (where the
-// per-op mechanism under ablation is visible rather than hidden by
-// queueing).
-func runDKVariant(cfg Config, mutate func(*core.TestbedConfig)) (kiops float64, lat sim.Duration, err error) {
+// runDKVariant measures a mutated DK-HW stack spec: throughput under the
+// loaded configuration, and latency at queue depth 1 (where the per-op
+// mechanism under ablation is visible rather than hidden by queueing).
+func runDKVariant(cfg Config, mutate func(*core.StackSpec)) (kiops float64, lat sim.Duration, err error) {
 	run := func(qd, jobs, ops int) (*fio.Result, error) {
 		tcfg := core.DefaultTestbedConfig()
 		tcfg.Jitter = false
-		if mutate != nil {
-			mutate(&tcfg)
-		}
 		tb, err := core.NewTestbed(tcfg)
 		if err != nil {
 			return nil, err
 		}
-		stack, err := tb.NewStack(core.StackDKHW, false)
+		spec, err := core.Spec(core.StackDKHW)
+		if err != nil {
+			return nil, err
+		}
+		if mutate != nil {
+			mutate(&spec)
+		}
+		stack, err := tb.BuildStack(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -83,11 +86,13 @@ func runDKVariant(cfg Config, mutate func(*core.TestbedConfig)) (kiops float64, 
 	return loaded.KIOPS(), qd1.Lat.Mean(), nil
 }
 
-// ablationSpec describes one design-knob ablation as data, so the whole
-// grid can be enumerated and fanned out by the runner.
+// ablationSpec describes one design-knob ablation as data — a mutation of
+// the DK-HW StackSpec — so the whole grid can be enumerated and fanned out
+// by the runner, and each variant is just a different declarative layer
+// composition.
 type ablationSpec struct {
 	name, baseline, variant string
-	mutate                  func(*core.TestbedConfig)
+	mutate                  func(*core.StackSpec)
 }
 
 // ablationSpecs is the ablation grid in presentation order.
@@ -96,20 +101,36 @@ var ablationSpecs = []ablationSpec{
 		name:     "io_uring kernel-polled mode (optimization ①)",
 		baseline: "SQPOLL (DeLiBA-K)",
 		variant:  "interrupt + enter syscalls",
-		mutate:   func(t *core.TestbedConfig) { t.RingInterrupt = true },
+		mutate:   func(s *core.StackSpec) { s.RingInterrupt = true },
 	},
 	{
 		name:     "DMQ scheduler bypass (optimization ②)",
 		baseline: "bypass (DeLiBA-K)",
 		variant:  "mq-deadline elevator",
-		mutate:   func(t *core.TestbedConfig) { t.DisableDMQBypass = true },
+		mutate:   func(s *core.StackSpec) { s.Block = core.BlockMQDeadline },
 	},
 	{
 		name:     "multiple per-core io_uring instances",
 		baseline: "3 instances (DeLiBA-K)",
 		variant:  "1 instance",
-		mutate:   func(t *core.TestbedConfig) { t.Instances = 1 },
+		mutate:   func(s *core.StackSpec) { s.Instances = 1 },
 	},
+}
+
+// AblationStackSpecs returns the mutated spec of every grid entry (the
+// baseline DK-HW spec with the entry's mutation applied); ci.sh's
+// exhaustiveness stage validates each one.
+func AblationStackSpecs() ([]core.StackSpec, error) {
+	out := make([]core.StackSpec, 0, len(ablationSpecs))
+	for _, a := range ablationSpecs {
+		spec, err := core.Spec(core.StackDKHW)
+		if err != nil {
+			return nil, err
+		}
+		a.mutate(&spec)
+		out = append(out, spec)
+	}
+	return out, nil
 }
 
 // runAblations measures the given specs: two cells per ablation (baseline
@@ -121,7 +142,7 @@ func runAblations(cfg Config, specs []ablationSpec) ([]*AblationResult, error) {
 		lat   sim.Duration
 	}
 	outs, err := RunCells(2*len(specs), func(i int) (cellOut, error) {
-		var mutate func(*core.TestbedConfig)
+		var mutate func(*core.StackSpec)
 		if i%2 == 1 {
 			mutate = specs[i/2].mutate
 		}

@@ -1,0 +1,87 @@
+package experiments
+
+import "testing"
+
+// Golden quick-config digests captured on the monolithic per-generation
+// stack constructors, immediately before the layer-pipeline refactor.
+// Every family must reproduce them byte-for-byte: the refactor (and any
+// future one) is only behavior-preserving if the simulated event sequences
+// are exactly unchanged.
+var goldenDigests = map[string]uint64{
+	"fig3":      0xf8c343eb8edbc185,
+	"fig6":      0x585fa75139b4d732,
+	"tab2":      0xa13a977d7007ab33,
+	"ablations": 0xb91daf403fdc5eda,
+	"faults":    0x3f53b6f4787217e9,
+}
+
+func TestGoldenDigests(t *testing.T) {
+	cfg := Quick()
+	families := map[string]func() (uint64, error){
+		"fig3": func() (uint64, error) {
+			res, err := Fig3(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"fig6": func() (uint64, error) {
+			res, err := Fig6and7(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"tab2": func() (uint64, error) {
+			res, err := Table2(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"ablations": func() (uint64, error) {
+			res, err := Ablations(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return AblationsDigest(res), nil
+		},
+		"faults": func() (uint64, error) {
+			res, err := FaultSweep(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+	}
+	for name, want := range goldenDigests {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got, err := families[name]()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s digest %016x != golden %016x — the pipeline refactor changed simulated behavior", name, got, want)
+			}
+		})
+	}
+}
+
+// TestAblationSpecsValid asserts every grid entry mutates the DK-HW spec
+// into a composition BuildStack accepts.
+func TestAblationSpecsValid(t *testing.T) {
+	specs, err := AblationStackSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(ablationSpecs) {
+		t.Fatalf("specs = %d, want %d", len(specs), len(ablationSpecs))
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("ablation %q spec invalid: %v", ablationSpecs[i].name, err)
+		}
+	}
+}

@@ -234,7 +234,7 @@ func TestRegisterBuffers(t *testing.T) {
 	if results[1] != 4096 {
 		t.Fatalf("valid fixed write res = %d", results[1])
 	}
-	if results[2] != -14 || results[3] != -14 {
+	if results[2] != ResEFAULT || results[3] != ResEFAULT {
 		t.Fatalf("invalid fixed writes res = %d, %d (want -EFAULT)", results[2], results[3])
 	}
 	// Only the valid op reached the device.

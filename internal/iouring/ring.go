@@ -336,10 +336,10 @@ func (r *Ring) validateBufIndex(sqe SQE) int32 {
 		return 0
 	}
 	if int(sqe.BufIndex) >= len(r.bufTable) {
-		return -14 // -EFAULT
+		return ResEFAULT
 	}
 	if int(sqe.Len) > r.bufTable[sqe.BufIndex] {
-		return -14
+		return ResEFAULT
 	}
 	return 0
 }

@@ -6,11 +6,17 @@
 package rbd
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/rados"
 	"repro/internal/sim"
 )
+
+// ErrOutOfRange reports an access outside the image; Extents wraps it so
+// callers can translate mapping failures (e.g. to -EINVAL) without string
+// matching.
+var ErrOutOfRange = errors.New("rbd: range outside image")
 
 // DefaultObjectBytes is the standard RBD object size (4 MiB).
 const DefaultObjectBytes = 4 << 20
@@ -58,7 +64,7 @@ type Extent struct {
 // Extents maps a virtual byte range to backing-object extents.
 func (im *Image) Extents(off int64, n int) ([]Extent, error) {
 	if off < 0 || n < 0 || off+int64(n) > im.Size {
-		return nil, fmt.Errorf("rbd: range [%d,%d) outside image of %d bytes", off, off+int64(n), im.Size)
+		return nil, fmt.Errorf("%w: [%d,%d) in image of %d bytes", ErrOutOfRange, off, off+int64(n), im.Size)
 	}
 	var out []Extent
 	for n > 0 {
@@ -73,6 +79,31 @@ func (im *Image) Extents(off int64, n int) ([]Extent, error) {
 		n -= take
 	}
 	return out, nil
+}
+
+// VisitExtents maps [off, off+n) and invokes visit once per backing-object
+// extent, in image order. A mapping failure returns ErrOutOfRange (wrapped)
+// before any extent is visited. With stopOnErr the first visit error returns
+// immediately and the remaining extents are skipped (how the kernel RBD
+// target aborts a request); otherwise every extent is visited and the first
+// error seen is returned (how the NBD daemons drain a request).
+func (im *Image) VisitExtents(off int64, n int, stopOnErr bool, visit func(Extent) error) error {
+	exts, err := im.Extents(off, n)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range exts {
+		if err := visit(e); err != nil {
+			if stopOnErr {
+				return err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // Dev is a block-device view of an image bound to a rados client: the
