@@ -35,6 +35,17 @@ go test -race -count=1 -run 'TestAblationSpecsValid|TestGoldenDigests' ./interna
 # Fuzz seed corpus for the fused GF(256) kernel: runs the f.Add cases
 # (length 0, sub-block, non-multiple-of-32 tails, misalignment) as plain
 # tests — cheap enough for every CI run, -short included.
+# Sharded engine: the conservative-lookahead barrier loop, the cross-shard
+# network layer and the city-scale model are the only places worker
+# goroutines run simulation events concurrently. Race the shard protocol
+# tests plus a ScaleSweep smoke cell (256 OSDs across 1/2/8 shards)
+# explicitly so the determinism property is always exercised under the
+# detector.
+echo "== sharded engine (race: shard protocol + scale smoke) =="
+go test -race -count=1 -run 'TestShard|TestEngineReserve|TestFreelistCap|TestHeapRandomOrder' \
+    ./internal/sim/ ./internal/netsim/
+go test -race -count=1 -run 'TestScale' ./internal/rados/ ./internal/experiments/
+
 echo "== gf256 fuzz seeds =="
 go test -run 'Fuzz' ./internal/gf256/
 

@@ -11,11 +11,22 @@
 //	delibabench -stack iouring,dmq-bypass,qdma,hls-crush,card-rtl,ec
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
-// realworld headline ablations dfx buckets recovery mtu faults
+// realworld headline ablations dfx buckets recovery mtu faults scale
 //
 // -parallel sets how many worker goroutines the experiment runner fans
 // sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
 // any setting; only wall-clock changes.
+//
+// -shards sets the simulation engine's shard count: testbeds are built on a
+// sharded engine group whose per-domain event loops run in parallel under
+// conservative-lookahead synchronization. Results are bit-identical at any
+// setting (the determinism property the sharded engine guarantees); the
+// city-scale `scale` family gains wall-clock parallelism from it.
+//
+// -scalebench runs the city-scale 5,000-OSD / 100k-volume scenario at 1, 2,
+// 4 and 8 shards, verifies the digests match, and writes wall-clock,
+// speedup, recovery and per-shard utilization numbers to the given JSON
+// path.
 //
 // -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
 // and checking that every run produces a bit-identical result digest, then
@@ -51,12 +62,22 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run the wall-clock/determinism self-test")
 	iters := flag.Int("iters", 20, "self-test iterations")
 	par := flag.Int("parallel", 0, "experiment runner workers (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "simulation engine shards (results identical at any setting)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path")
+	scaleBench := flag.String("scalebench", "", "run the city-scale sharding benchmark and write its JSON report to this path")
 	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
 	flag.Parse()
 
 	experiments.SetParallelism(*par)
+	experiments.SetShards(*shards)
 
+	if *scaleBench != "" {
+		if err := runScaleBench(*scaleBench, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *stackSpec != "" {
 		if err := runStack(*stackSpec); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)
@@ -344,6 +365,13 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 	}
 	if sel("faults") {
 		res, err := experiments.FaultSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table())
+	}
+	if sel("scale") {
+		res, err := experiments.ScaleSweep(cfg)
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,9 @@ type benchReport struct {
 	Families    []familyReport `json:"families"`
 	Stacks      []stackReport  `json:"stacks"`
 	Kernels     []kernelReport `json:"kernels"`
+	// Scale is the quick city-scale scenario at 1 and 8 engine shards, with
+	// per-shard utilization — digest equality across the two is asserted.
+	Scale []scaleRunReport `json:"scale"`
 }
 
 type familyReport struct {
@@ -167,6 +170,11 @@ func writeJSONReport(path string) error {
 		return fmt.Errorf("json report: %w", err)
 	}
 	rep.Stacks = stacks
+	scale, err := scaleRuns(cfg)
+	if err != nil {
+		return fmt.Errorf("json report: %w", err)
+	}
+	rep.Scale = scale
 	rep.Kernels = append(rep.Kernels, benchEncode(), benchReconstruct(), benchMulAdd())
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

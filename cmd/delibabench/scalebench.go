@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// scaleBenchReport is the -scalebench artifact: the city-scale scenario run
+// at increasing shard counts, with digest equality asserted and wall-clock,
+// per-shard utilization and recovery numbers recorded. The parallel speedup
+// is reported, not asserted: on a single-core host every shard count
+// legitimately lands near 1.0x (same rule the selftest applies to the cell
+// runner), while the digests must match everywhere.
+type scaleBenchReport struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	HostCPUs   int     `json:"host_cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	OSDs       int     `json:"osds"`
+	Racks      int     `json:"racks"`
+	Clients    int     `json:"clients"`
+	Volumes    int     `json:"volumes"`
+	TotalOps   uint64  `json:"total_ops"`
+	Digest     string  `json:"digest"`
+	SpeedupMax float64 `json:"speedup_at_max_shards"`
+	Note       string  `json:"note,omitempty"`
+
+	Runs     []scaleRunReport     `json:"runs"`
+	Recovery *scaleRecoveryReport `json:"recovery,omitempty"`
+}
+
+// scaleRunReport is one healthy run at a fixed shard count.
+type scaleRunReport struct {
+	Shards   int             `json:"shards"`
+	WallMs   float64         `json:"wall_ms"`
+	Digest   string          `json:"digest"`
+	KIOPSSim float64         `json:"kiops_simulated"`
+	Windows  uint64          `json:"barrier_windows"`
+	Messages uint64          `json:"cross_shard_msgs"`
+	PerShard []shardUtilJSON `json:"per_shard"`
+}
+
+type shardUtilJSON struct {
+	Shard   int     `json:"shard"`
+	Domains int     `json:"domains"`
+	Events  uint64  `json:"events"`
+	BusyMs  float64 `json:"busy_ms"`
+}
+
+type scaleRecoveryReport struct {
+	FailOSD      int     `json:"fail_osd"`
+	DegradedPGs  int     `json:"degraded_pgs"`
+	RecoveredPGs int     `json:"recovered_pgs"`
+	RecoveryMs   float64 `json:"recovery_ms"`
+	Redirects    uint64  `json:"redirects"`
+}
+
+func shardUtil(res *rados.ScaleResult) []shardUtilJSON {
+	out := make([]shardUtilJSON, 0, len(res.PerShard))
+	for _, st := range res.PerShard {
+		out = append(out, shardUtilJSON{
+			Shard:   st.Shard,
+			Domains: st.Domains,
+			Events:  st.Events,
+			BusyMs:  float64(st.Busy.Microseconds()) / 1e3,
+		})
+	}
+	return out
+}
+
+// scaleRuns is the -json report's scale section: the quick 256-OSD scenario
+// at 1 and 8 shards, digests asserted equal.
+func scaleRuns(cfg experiments.Config) ([]scaleRunReport, error) {
+	var out []scaleRunReport
+	var ref uint64
+	for _, n := range []int{1, 8} {
+		prev := experiments.SetShards(n)
+		sc := experiments.ScaleScenario(cfg, 256)
+		experiments.SetShards(prev)
+		cl, err := rados.NewScaleCluster(sc)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := cl.Run()
+		wall := time.Since(start)
+		d := res.Digest()
+		if len(out) == 0 {
+			ref = d
+		} else if d != ref {
+			return nil, fmt.Errorf("scale digest %016x at %d shards != %016x at 1", d, n, ref)
+		}
+		out = append(out, scaleRunReport{
+			Shards:   n,
+			WallMs:   float64(wall.Microseconds()) / 1e3,
+			Digest:   fmt.Sprintf("%016x", d),
+			KIOPSSim: res.KIOPS,
+			Windows:  res.Windows,
+			Messages: res.Messages,
+			PerShard: shardUtil(res),
+		})
+	}
+	return out, nil
+}
+
+// runScaleBench measures the city-scale scenario (5,000 OSDs / 100k volumes;
+// -quick shrinks it to 256 OSDs for smoke runs) at 1, 2, 4 and 8 shards.
+func runScaleBench(path string, quick bool) error {
+	cfg := experiments.Full()
+	osds := 5000
+	if quick {
+		cfg = experiments.Quick()
+		osds = 256
+	}
+
+	rep := scaleBenchReport{
+		Schema:     "delibabench/scale-v1",
+		GoVersion:  runtime.Version(),
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if rep.HostCPUs == 1 {
+		rep.Note = "single-core host: parallel speedup cannot materialize here; digest equality is the asserted property"
+	}
+
+	var refDigest uint64
+	var wallFirst, wallLast time.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		prev := experiments.SetShards(n)
+		sc := experiments.ScaleScenario(cfg, osds)
+		experiments.SetShards(prev)
+		cl, err := rados.NewScaleCluster(sc)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res := cl.Run()
+		wall := time.Since(start)
+		d := res.Digest()
+		if len(rep.Runs) == 0 {
+			refDigest = d
+			wallFirst = wall
+			rep.OSDs = res.OSDs
+			rep.Racks = res.Racks
+			rep.Clients = res.Clients
+			rep.Volumes = res.Volumes
+			rep.TotalOps = res.TotalOps
+			rep.Digest = fmt.Sprintf("%016x", d)
+		} else if d != refDigest {
+			return fmt.Errorf("scalebench: digest %016x at %d shards != %016x at 1 — sharded engine is nondeterministic", d, n, refDigest)
+		}
+		wallLast = wall
+		rep.Runs = append(rep.Runs, scaleRunReport{
+			Shards:   n,
+			WallMs:   float64(wall.Microseconds()) / 1e3,
+			Digest:   fmt.Sprintf("%016x", d),
+			KIOPSSim: res.KIOPS,
+			Windows:  res.Windows,
+			Messages: res.Messages,
+			PerShard: shardUtil(res),
+		})
+		fmt.Printf("scalebench: %d OSDs, %d shards: %.1f ms wall, digest %016x, %d windows, %d cross-shard msgs\n",
+			res.OSDs, n, float64(wall.Microseconds())/1e3, d, res.Windows, res.Messages)
+	}
+	rep.SpeedupMax = float64(wallFirst) / float64(wallLast)
+
+	// One failure/recovery run of the same topology at the max shard count.
+	prev := experiments.SetShards(8)
+	fsc := experiments.ScaleScenario(cfg, osds)
+	experiments.SetShards(prev)
+	fsc.FailOSD = rep.OSDs / 2
+	fsc.FailAfter = 2 * sim.Millisecond
+	fcl, err := rados.NewScaleCluster(fsc)
+	if err != nil {
+		return err
+	}
+	fres := fcl.Run()
+	rep.Recovery = &scaleRecoveryReport{
+		FailOSD:      fsc.FailOSD,
+		DegradedPGs:  fres.DegradedPGs,
+		RecoveredPGs: fres.RecoveredPGs,
+		RecoveryMs:   fres.RecoveryTime.Microseconds() / 1e3,
+		Redirects:    fres.Redirects,
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scalebench: wrote %s (%d runs, speedup %.2fx at 8 shards, host_cpus=%d)\n",
+		path, len(rep.Runs), rep.SpeedupMax, rep.HostCPUs)
+	return nil
+}

@@ -50,6 +50,14 @@ type TestbedConfig struct {
 	DisableDMQBypass bool
 	// Instances overrides the io_uring instance count (0 = the paper's 3).
 	Instances int
+
+	// Shards > 1 runs the testbed inside a sharded engine group: the whole
+	// classic testbed is one topology domain on the group's home shard, so
+	// event order — and therefore every digest — is byte-identical to the
+	// plain engine; the remaining shards are available to co-scheduled
+	// domains (the city-scale experiment family) or simply idle. 0 or 1
+	// builds a plain engine.
+	Shards int
 }
 
 // DefaultTestbedConfig returns the paper-testbed shape in benchmark mode.
@@ -75,7 +83,10 @@ func DefaultTestbedConfig() TestbedConfig {
 // FPGA state; experiments use a fresh testbed per run for isolation and
 // determinism).
 type Testbed struct {
-	Eng     *sim.Engine
+	Eng *sim.Engine
+	// Shards is the engine group when Cfg.Shards > 1 (nil otherwise); Eng is
+	// then the home-shard engine and Eng.Run delegates to the group.
+	Shards  *sim.Shards
 	Cfg     TestbedConfig
 	CM      CostModel
 	Fabric  *netsim.Fabric
@@ -98,7 +109,18 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		cm := DefaultCostModel()
 		cfg.CM = &cm
 	}
-	eng := sim.NewEngine()
+	var eng *sim.Engine
+	var group *sim.Shards
+	if cfg.Shards > 1 {
+		group = sim.NewShards(cfg.Shards, cfg.CM.Propagation)
+		_, eng = group.AddDomainAt("testbed", 0)
+	} else {
+		eng = sim.NewEngine()
+	}
+	// Topology hint: pre-size the event pool for the testbed's steady state
+	// (per-OSD queues plus in-flight fabric messages) so benchmark runs never
+	// grow the heap on the hot path.
+	eng.Reserve(cfg.Nodes*cfg.OSDsPerNode*64 + 4096)
 	fabric := netsim.NewFabric(eng, cfg.CM.Propagation)
 	ccfg := rados.DefaultClusterConfig()
 	ccfg.Nodes = cfg.Nodes
@@ -135,6 +157,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	}
 	tb := &Testbed{
 		Eng:       eng,
+		Shards:    group,
 		Cfg:       cfg,
 		CM:        *cfg.CM,
 		Fabric:    fabric,

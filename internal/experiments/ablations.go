@@ -45,7 +45,7 @@ func (a *AblationResult) Table() *metrics.Table {
 // mechanism under ablation is visible rather than hidden by queueing).
 func runDKVariant(cfg Config, mutate func(*core.StackSpec)) (kiops float64, lat sim.Duration, err error) {
 	run := func(qd, jobs, ops int) (*fio.Result, error) {
-		tcfg := core.DefaultTestbedConfig()
+		tcfg := testbedConfig()
 		tcfg.Jitter = false
 		tb, err := core.NewTestbed(tcfg)
 		if err != nil {
@@ -232,7 +232,7 @@ const powerCycleTime = 90 * sim.Second
 // while the static region stays up, and contrasts with the full-reload
 // alternative.
 func DFX() (*DFXResult, error) {
-	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	tb, err := core.NewTestbed(testbedConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -77,7 +77,7 @@ type Point struct {
 
 // runPoint builds a fresh testbed+stack and runs one fio spec on it.
 func runPoint(cfg Config, kind core.StackKind, ec bool, wl Workload, bs, qd, ops int) (Point, error) {
-	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	tb, err := core.NewTestbed(testbedConfig())
 	if err != nil {
 		return Point{}, err
 	}
@@ -120,7 +120,7 @@ func runLatency(cfg Config, kind core.StackKind, ec bool, wl Workload, bs int) (
 }
 
 func runPointQD1(cfg Config, kind core.StackKind, ec bool, wl Workload, bs int) (Point, error) {
-	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	tb, err := core.NewTestbed(testbedConfig())
 	if err != nil {
 		return Point{}, err
 	}

@@ -58,7 +58,7 @@ func (r *RealWorldResult) Digest() uint64 {
 }
 
 func runTask(cfg Config, kind core.StackKind, spec fio.JobSpec) (sim.Duration, error) {
-	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	tb, err := core.NewTestbed(testbedConfig())
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ShardNetConfig shapes a sharded cluster network: every topology domain
+// (rack / OSD group) owns a NIC-like uplink with a line rate and a protocol
+// stack front end; traffic between domains crosses the inter-domain fabric.
+type ShardNetConfig struct {
+	// BitsPerSec is each domain uplink's line rate.
+	BitsPerSec float64
+	// Stack is the per-message protocol cost charged on both ends.
+	Stack StackCost
+	// IntraLat is the propagation delay for traffic that stays inside a
+	// domain (ToR hop).
+	IntraLat sim.Duration
+	// InterLat is the one-way propagation delay between domains (spine
+	// crossing). It is the conservative-lookahead bound: no cross-domain
+	// message can be observed sooner than InterLat after it was sent.
+	InterLat sim.Duration
+}
+
+// Lookahead extracts the conservative lookahead bound the sharded engine may
+// assume for this network: stack and wire costs only push arrivals later, so
+// the inter-domain propagation delay is a guaranteed floor on cross-domain
+// delivery. Build the sim.Shards group with this value (or anything
+// smaller).
+func (c ShardNetConfig) Lookahead() sim.Duration { return c.InterLat }
+
+// Validate reports configuration errors.
+func (c ShardNetConfig) Validate() error {
+	if c.BitsPerSec <= 0 {
+		return fmt.Errorf("netsim: ShardNet rate %v", c.BitsPerSec)
+	}
+	if c.InterLat <= 0 {
+		return fmt.Errorf("netsim: ShardNet inter-domain latency %v must be positive", c.InterLat)
+	}
+	if c.IntraLat < 0 {
+		return fmt.Errorf("netsim: ShardNet intra-domain latency %v", c.IntraLat)
+	}
+	return nil
+}
+
+// ShardNet routes messages between the domains of a sim.Shards group. It is
+// the cross-shard counterpart of Fabric: same cost structure (sender stack,
+// wire serialization, propagation, receiver stack), but all cross-domain
+// delivery goes through the group's canonical barrier merge, and each
+// domain's transmit state (uplink wire, stack processor) is confined to that
+// domain's shard.
+//
+// Unlike Fabric, the receiver's stack processor is booked when the message
+// arrives, in canonical arrival order — not when the sender executes — so
+// results are invariant under re-partitioning domains across shards.
+type ShardNet struct {
+	sh   *sim.Shards
+	cfg  ShardNetConfig
+	doms []shardDomain
+}
+
+// shardDomain is one domain's network endpoint state. Only the owning
+// shard's worker touches it (send side from the domain's events, receive
+// side from canonically merged arrival events).
+type shardDomain struct {
+	eng       *sim.Engine
+	wireFree  sim.Time // uplink transmit serialization
+	stackFree sim.Time // protocol processor
+	txBytes   uint64
+	txMsgs    uint64
+	rxMsgs    uint64
+}
+
+// NewShardNet returns a network over the given group. Domains are registered
+// with AddDomain.
+func NewShardNet(sh *sim.Shards, cfg ShardNetConfig) (*ShardNet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InterLat < sh.Lookahead() {
+		return nil, fmt.Errorf("netsim: inter-domain latency %v below group lookahead %v",
+			cfg.InterLat, sh.Lookahead())
+	}
+	return &ShardNet{sh: sh, cfg: cfg}, nil
+}
+
+// AddDomain registers a network endpoint for a new topology domain
+// (round-robin shard placement) and returns its ID.
+func (n *ShardNet) AddDomain(name string) sim.DomainID {
+	id, eng := n.sh.AddDomain(name)
+	n.addEndpoint(id, eng)
+	return id
+}
+
+// AddDomainAt registers a network endpoint pinned to an explicit shard.
+func (n *ShardNet) AddDomainAt(name string, shard int) sim.DomainID {
+	id, eng := n.sh.AddDomainAt(name, shard)
+	n.addEndpoint(id, eng)
+	return id
+}
+
+func (n *ShardNet) addEndpoint(id sim.DomainID, eng *sim.Engine) {
+	if int(id) != len(n.doms) {
+		panic("netsim: ShardNet domains must be registered through ShardNet")
+	}
+	n.doms = append(n.doms, shardDomain{eng: eng})
+}
+
+// WireTime returns the serialization delay for b bytes on a domain uplink.
+func (n *ShardNet) WireTime(b int) sim.Duration {
+	return sim.Duration(float64(b) / (n.cfg.BitsPerSec / 8) * 1e9)
+}
+
+// Send models a one-way message of b bytes from domain src to domain dst and
+// invokes fn on dst's shard once the receiver has processed it. The sender
+// pays its stack cost and uplink serialization immediately (on src's shard);
+// propagation is IntraLat within a domain and InterLat across domains; the
+// receiver's stack cost is booked at arrival. Send never blocks and must be
+// called from src's shard context (or during setup).
+func (n *ShardNet) Send(src, dst sim.DomainID, b int, fn func()) {
+	sd := &n.doms[src]
+	now := sd.eng.Now()
+	start := now
+	if sd.stackFree > start {
+		start = sd.stackFree
+	}
+	sd.stackFree = start.Add(n.cfg.Stack.Cost(b))
+	depart := sd.stackFree
+	if sd.wireFree > depart {
+		depart = sd.wireFree
+	}
+	depart = depart.Add(n.WireTime(b))
+	sd.wireFree = depart
+	sd.txBytes += uint64(b)
+	sd.txMsgs++
+	if src == dst {
+		sd.eng.At(depart.Add(n.cfg.IntraLat), func() { n.deliver(dst, b, fn) })
+		return
+	}
+	n.sh.PostAt(src, dst, depart.Add(n.cfg.InterLat), func() { n.deliver(dst, b, fn) })
+}
+
+// deliver books the receiver's stack processor and schedules fn when the
+// message has been processed. Runs on dst's shard.
+func (n *ShardNet) deliver(dst sim.DomainID, b int, fn func()) {
+	dd := &n.doms[dst]
+	start := dd.eng.Now()
+	if dd.stackFree > start {
+		start = dd.stackFree
+	}
+	dd.stackFree = start.Add(n.cfg.Stack.Cost(b))
+	dd.rxMsgs++
+	dd.eng.At(dd.stackFree, fn)
+}
+
+// DomainStats is a read-only transmit/receive snapshot for one domain.
+type DomainStats struct {
+	TxBytes uint64
+	TxMsgs  uint64
+	RxMsgs  uint64
+}
+
+// Stats returns domain d's counters.
+func (n *ShardNet) Stats(d sim.DomainID) DomainStats {
+	sd := &n.doms[d]
+	return DomainStats{TxBytes: sd.txBytes, TxMsgs: sd.txMsgs, RxMsgs: sd.rxMsgs}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func shardNetConfig() ShardNetConfig {
+	return ShardNetConfig{
+		BitsPerSec: 10e9,
+		Stack:      StackCost{PerMessage: 2 * sim.Microsecond, PerKiB: 100 * sim.Nanosecond},
+		IntraLat:   1 * sim.Microsecond,
+		InterLat:   5 * sim.Microsecond,
+	}
+}
+
+// TestShardNetDelayComponents pins the cost structure of an uncontended
+// cross-domain message: sender stack + wire + propagation + receiver stack.
+func TestShardNetDelayComponents(t *testing.T) {
+	cfg := shardNetConfig()
+	sh := sim.NewShards(2, cfg.Lookahead())
+	net, err := NewShardNet(sh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := net.AddDomainAt("a", 0)
+	b := net.AddDomainAt("b", 1)
+
+	const bytes = 4096
+	var arrived sim.Time
+	engA := sh.Engine(a)
+	engA.Schedule(0, func() {
+		net.Send(a, b, bytes, func() { arrived = sh.Engine(b).Now() })
+	})
+	sh.Run()
+
+	want := sim.Time(0).
+		Add(cfg.Stack.Cost(bytes)). // sender stack
+		Add(net.WireTime(bytes)).   // uplink serialization
+		Add(cfg.InterLat).          // propagation
+		Add(cfg.Stack.Cost(bytes))  // receiver stack
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+	st := net.Stats(a)
+	if st.TxBytes != bytes || st.TxMsgs != 1 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if net.Stats(b).RxMsgs != 1 {
+		t.Fatalf("receiver stats %+v", net.Stats(b))
+	}
+}
+
+// TestShardNetDeterminism: a mesh of chattering domains digests identically
+// at 1, 2 and 4 shards — the routing layer preserves the canonical order.
+func TestShardNetDeterminism(t *testing.T) {
+	run := func(shards int, seed uint64) uint64 {
+		cfg := shardNetConfig()
+		sh := sim.NewShards(shards, cfg.Lookahead())
+		net, err := NewShardNet(sh, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nd = 6
+		type dom struct {
+			id   sim.DomainID
+			rng  *sim.RNG
+			hash uint64
+			left int
+		}
+		doms := make([]*dom, nd)
+		for i := 0; i < nd; i++ {
+			id := net.AddDomain(fmt.Sprintf("d%d", i))
+			doms[i] = &dom{id: id, rng: sim.NewRNG(seed + uint64(i)*17), hash: 1469598103934665603, left: 30}
+		}
+		var kick func(d *dom)
+		kick = func(d *dom) {
+			eng := sh.Engine(d.id)
+			d.hash = (d.hash ^ uint64(eng.Now())) * 1099511628211
+			if d.left == 0 {
+				return
+			}
+			d.left--
+			dst := doms[d.rng.Intn(nd)]
+			net.Send(d.id, dst.id, 512+d.rng.Intn(8192), func() { kick(dst) })
+		}
+		for _, d := range doms {
+			d := d
+			sh.Engine(d.id).Schedule(sim.Duration(d.rng.Intn(4000)), func() { kick(d) })
+		}
+		sh.Run()
+		h := fnv.New64a()
+		for _, d := range doms {
+			st := net.Stats(d.id)
+			fmt.Fprintf(h, "%016x|%d|%d|%d|%d\n", d.hash, d.left, st.TxBytes, st.TxMsgs, st.RxMsgs)
+		}
+		return h.Sum64()
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		ref := run(1, seed)
+		for _, n := range []int{2, 4} {
+			if got := run(n, seed); got != ref {
+				t.Fatalf("seed %d: digest %016x at %d shards != %016x at 1", seed, got, n, ref)
+			}
+		}
+	}
+}
+
+// TestShardNetRejectsBadConfig: the lookahead contract is enforced at
+// construction.
+func TestShardNetRejectsBadConfig(t *testing.T) {
+	sh := sim.NewShards(2, 10*sim.Microsecond)
+	if _, err := NewShardNet(sh, ShardNetConfig{BitsPerSec: 1e9, InterLat: 5 * sim.Microsecond}); err == nil {
+		t.Fatal("inter-domain latency below group lookahead accepted")
+	}
+	if _, err := NewShardNet(sh, ShardNetConfig{InterLat: 20 * sim.Microsecond}); err == nil {
+		t.Fatal("zero line rate accepted")
+	}
+}

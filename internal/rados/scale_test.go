@@ -1,0 +1,122 @@
+package rados
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func scaleTestConfig(seed uint64, shards int) ScaleConfig {
+	cfg := DefaultScaleConfig(64) // 4 racks x 16 OSDs
+	cfg.Volumes = 512
+	cfg.OpsPerClient = 60
+	cfg.Seed = seed
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestScaleDeterminismAcrossShards: the tentpole property at the model level —
+// a (seed, topology) pair digests identically at 1, 2 and 4 shards, for
+// healthy and failure scenarios.
+func TestScaleDeterminismAcrossShards(t *testing.T) {
+	for _, fail := range []int{-1, 17} {
+		for _, seed := range []uint64{1, 2, 3} {
+			var want uint64
+			for i, n := range []int{1, 2, 4} {
+				cfg := scaleTestConfig(seed, n)
+				cfg.FailOSD = fail
+				cfg.FailAfter = 2 * sim.Millisecond
+				c, err := NewScaleCluster(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := c.Run().Digest()
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("fail=%d seed=%d: digest %016x at %d shards != %016x at 1",
+						fail, seed, got, n, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleOpsConservation: every issued op completes exactly once — the
+// closed-loop clients drain fully even across redirects and failures.
+func TestScaleOpsConservation(t *testing.T) {
+	cfg := scaleTestConfig(5, 2)
+	cfg.FailOSD = 3
+	cfg.FailAfter = 1 * sim.Millisecond
+	c, err := NewScaleCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	want := uint64(cfg.Racks * cfg.ClientsPerRack * cfg.OpsPerClient)
+	if res.TotalOps != want {
+		t.Fatalf("completed %d ops, want %d", res.TotalOps, want)
+	}
+	if res.Lat.Count() != want {
+		t.Fatalf("latency samples %d, want %d", res.Lat.Count(), want)
+	}
+	if res.KIOPS <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("degenerate result: kiops=%v elapsed=%v", res.KIOPS, res.Elapsed)
+	}
+}
+
+// TestScaleRecoveryCompletes: a failure degrades some PGs and backfill
+// re-replicates all of them; the recovery clock is positive and the failed
+// OSD serves nothing after the failure instant beyond its queued backlog.
+func TestScaleRecoveryCompletes(t *testing.T) {
+	cfg := scaleTestConfig(9, 2)
+	cfg.FailOSD = 21
+	cfg.FailAfter = 1 * sim.Millisecond
+	c, err := NewScaleCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run()
+	if res.DegradedPGs == 0 {
+		t.Fatal("failure degraded no PGs — placement never used the failed OSD")
+	}
+	if res.RecoveredPGs != res.DegradedPGs {
+		t.Fatalf("recovered %d of %d degraded PGs", res.RecoveredPGs, res.DegradedPGs)
+	}
+	if res.RecoveryTime <= 0 {
+		t.Fatalf("recovery time %v, want > 0", res.RecoveryTime)
+	}
+
+	// A healthy run of the same seed must see no redirects and no recovery.
+	hcfg := scaleTestConfig(9, 2)
+	h, err := NewScaleCluster(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres := h.Run()
+	if hres.Redirects != 0 || hres.RecoveredPGs != 0 || hres.RecoveryTime != 0 {
+		t.Fatalf("healthy run shows failure artifacts: %+v", hres)
+	}
+}
+
+// TestScaleConfigValidation rejects broken topologies.
+func TestScaleConfigValidation(t *testing.T) {
+	bad := DefaultScaleConfig(64)
+	bad.Replicas = 99
+	if _, err := NewScaleCluster(bad); err == nil {
+		t.Fatal("replicas > racks accepted")
+	}
+	bad = DefaultScaleConfig(64)
+	bad.FailOSD = 1 << 20
+	if _, err := NewScaleCluster(bad); err == nil {
+		t.Fatal("out-of-range FailOSD accepted")
+	}
+	bad = DefaultScaleConfig(64)
+	bad.FailOSD = 0
+	bad.Replicas = 1
+	if _, err := NewScaleCluster(bad); err == nil {
+		t.Fatal("single-replica failure scenario accepted")
+	}
+}
