@@ -46,6 +46,26 @@ go test -race -count=1 -run 'TestShard|TestEngineReserve|TestFreelistCap|TestHea
     ./internal/sim/ ./internal/netsim/
 go test -race -count=1 -run 'TestScale' ./internal/rados/ ./internal/experiments/
 
+# Write-back cache tier: the LSVD log/index/flush machinery runs a
+# background flusher goroutine-equivalent inside the simulation plus the
+# parallel sweep cells, so race the package and the cache sweep explicitly;
+# the crash-recovery smoke pins the zero-acked-loss replay contract, and
+# the split-domain smoke drives the host-domain client + cache against
+# OSDs on a second shard.
+echo "== lsvd cache tier (race: package + sweep + crash recovery) =="
+go test -race -count=1 ./internal/lsvd/
+go test -race -count=1 -run 'TestCrashRecovery' ./internal/lsvd/
+go test -race -count=1 -run 'TestCacheSweep|TestCacheHit|TestParseCacheSpec|TestValidateRejectsCacheCombos' \
+    ./internal/experiments/ ./internal/core/
+echo "== split-domain testbed smoke (race, -shards 2) =="
+go test -race -count=1 -run 'TestSplitDomain|TestFabricSplit' \
+    ./internal/core/ ./internal/netsim/
+
+# Fuzz seed corpus for the extent index: random overlapping insert/lookup
+# sequences cross-checked against a flat shadow map, as plain tests.
+echo "== lsvd extent-index fuzz seeds =="
+go test -run 'Fuzz' ./internal/lsvd/
+
 echo "== gf256 fuzz seeds =="
 go test -run 'Fuzz' ./internal/gf256/
 
@@ -71,6 +91,12 @@ if [ "${1:-}" != "-short" ]; then
     # any family digests differently under parallel execution.
     echo "== benchmark report (BENCH_pr2.json) =="
     go run ./cmd/delibabench -json BENCH_pr2.json
+
+    # Cache tier evidence artifact: hit-rate sweep speedups, the 10x p50
+    # target on the 90%-hot workload, serial-vs-parallel digest equality
+    # and the zero acknowledged-write-loss crash contract.
+    echo "== cache tier report (BENCH_pr7.json) =="
+    go run ./cmd/delibabench -quick -cachebench BENCH_pr7.json
 fi
 
 echo "CI OK"

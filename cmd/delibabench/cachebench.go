@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// cacheBenchReport is the -cachebench artifact: the LSVD write-back cache
+// tier's hit-rate sweep and crash-recovery scenarios, with the headline
+// p50 speedup of the 90%-hot workload over the direct path asserted
+// against the 10x acceptance target, and digest equality between serial
+// and parallel cell execution asserted like every other family.
+type cacheBenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Base       string  `json:"base_stack"`
+	CachedSpec string  `json:"cached_stack"`
+	WallMs     float64 `json:"wall_ms"`
+
+	Digest        string `json:"digest"`
+	DigestMatches bool   `json:"digest_matches_serial"`
+
+	// Speedups is p50(direct)/p50(largest cache) per workload; Target* is
+	// the acceptance evidence on the cache-friendly 90%-hot read stream.
+	Speedups       map[string]float64 `json:"p50_speedup_by_workload"`
+	TargetWorkload string             `json:"target_workload"`
+	TargetSpeedup  float64            `json:"target_p50_speedup"`
+	TargetMet      bool               `json:"target_met_10x"`
+
+	Points   []cachePointJSON    `json:"points"`
+	Recovery []cacheRecoveryJSON `json:"recovery"`
+	// ZeroAckedLoss is true when every crash-recovery seed replayed its
+	// log without losing a single acknowledged byte.
+	ZeroAckedLoss bool `json:"zero_acked_loss"`
+}
+
+type cachePointJSON struct {
+	Workload string  `json:"workload"`
+	CacheMB  int     `json:"cache_mb"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	HitRatio float64 `json:"hit_ratio"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Flushes  uint64  `json:"flushes"`
+	Backlog  int     `json:"flush_backlog"`
+}
+
+type cacheRecoveryJSON struct {
+	Seed       uint64  `json:"seed"`
+	Writes     int     `json:"writes"`
+	Replays    uint64  `json:"replayed_ops"`
+	Recoveries uint64  `json:"recoveries"`
+	LostAcked  int64   `json:"lost_acked_bytes"`
+	RecoveryUs float64 `json:"recovery_us"`
+}
+
+// runCacheBench runs the cache tier evaluation twice — at the configured
+// parallelism and serially — writes the JSON artifact, and fails if the
+// digests diverge or the 10x headline target is missed.
+func runCacheBench(path string, quick bool) error {
+	cfg := experiments.Full()
+	if quick {
+		cfg = experiments.Quick()
+	}
+	start := time.Now()
+	res, err := experiments.CacheSweep(cfg)
+	if err != nil {
+		return fmt.Errorf("cachebench: %w", err)
+	}
+	wall := time.Since(start)
+	prev := experiments.SetParallelism(1)
+	serial, err := experiments.CacheSweep(cfg)
+	experiments.SetParallelism(prev)
+	if err != nil {
+		return fmt.Errorf("cachebench: serial rerun: %w", err)
+	}
+	if serial.Digest() != res.Digest() {
+		return fmt.Errorf("cachebench: digest %016x (parallel) != %016x (serial) — cache sweep is nondeterministic",
+			res.Digest(), serial.Digest())
+	}
+
+	const targetWL = "hot90-read"
+	rep := cacheBenchReport{
+		Schema:         "delibabench/cache-v1",
+		GoVersion:      runtime.Version(),
+		HostCPUs:       runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Base:           res.Base,
+		CachedSpec:     res.Base + "+cache-lsvd",
+		WallMs:         float64(wall.Microseconds()) / 1e3,
+		Digest:         fmt.Sprintf("%016x", res.Digest()),
+		DigestMatches:  true,
+		Speedups:       map[string]float64{},
+		TargetWorkload: targetWL,
+		ZeroAckedLoss:  true,
+	}
+	for _, p := range res.Points {
+		rep.Points = append(rep.Points, cachePointJSON{
+			Workload: p.Workload,
+			CacheMB:  p.CacheMB,
+			P50Us:    float64(p.P50) / 1e3,
+			P99Us:    float64(p.P99) / 1e3,
+			HitRatio: p.HitRatio,
+			Hits:     p.Hits,
+			Misses:   p.Misses,
+			Flushes:  p.Flushes,
+			Backlog:  p.Backlog,
+		})
+		if p.CacheMB == 0 {
+			rep.Speedups[p.Workload] = res.HitSpeedup(p.Workload)
+		}
+	}
+	rep.TargetSpeedup = res.HitSpeedup(targetWL)
+	rep.TargetMet = rep.TargetSpeedup >= 10
+	for _, rec := range res.Recovery {
+		rep.Recovery = append(rep.Recovery, cacheRecoveryJSON{
+			Seed:       rec.Seed,
+			Writes:     rec.Ops,
+			Replays:    rec.Replays,
+			Recoveries: rec.Recoveries,
+			LostAcked:  rec.LostAcked,
+			RecoveryUs: float64(rec.RecoveryTime) / 1e3,
+		})
+		if rec.LostAcked != 0 {
+			rep.ZeroAckedLoss = false
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	printTables(res.Table(), res.RecoveryTable())
+	fmt.Printf("cachebench: wrote %s (%s p50 speedup %.1fx, zero_acked_loss=%v, digest %s)\n",
+		path, targetWL, rep.TargetSpeedup, rep.ZeroAckedLoss, rep.Digest)
+	if !rep.TargetMet {
+		return fmt.Errorf("cachebench: %s p50 speedup %.1fx below the 10x target", targetWL, rep.TargetSpeedup)
+	}
+	if !rep.ZeroAckedLoss {
+		return fmt.Errorf("cachebench: acknowledged writes lost across a crash — see %s", path)
+	}
+	return nil
+}

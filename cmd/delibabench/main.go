@@ -11,7 +11,7 @@
 //	delibabench -stack iouring,dmq-bypass,qdma,hls-crush,card-rtl,ec
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
-// realworld headline ablations dfx buckets recovery mtu faults scale
+// realworld headline ablations dfx buckets recovery mtu faults scale cache
 //
 // -parallel sets how many worker goroutines the experiment runner fans
 // sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
@@ -27,6 +27,11 @@
 // 4 and 8 shards, verifies the digests match, and writes wall-clock,
 // speedup, recovery and per-shard utilization numbers to the given JSON
 // path.
+//
+// -cachebench runs the LSVD write-back cache tier evaluation (hit-rate
+// sweep plus crash-recovery scenarios), asserts the 10x p50 target on the
+// 90%-hot workload and zero acknowledged-write loss, and writes the JSON
+// artifact to the given path.
 //
 // -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
 // and checking that every run produces a bit-identical result digest, then
@@ -65,6 +70,7 @@ func main() {
 	shards := flag.Int("shards", 1, "simulation engine shards (results identical at any setting)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path")
 	scaleBench := flag.String("scalebench", "", "run the city-scale sharding benchmark and write its JSON report to this path")
+	cacheBench := flag.String("cachebench", "", "run the write-back cache tier benchmark and write its JSON report to this path")
 	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
 	flag.Parse()
 
@@ -73,6 +79,13 @@ func main() {
 
 	if *scaleBench != "" {
 		if err := runScaleBench(*scaleBench, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cacheBench != "" {
+		if err := runCacheBench(*cacheBench, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)
 			os.Exit(1)
 		}
@@ -376,6 +389,13 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 			return err
 		}
 		printTables(res.Table())
+	}
+	if sel("cache") {
+		res, err := experiments.CacheSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table(), res.RecoveryTable())
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 type benchReport struct {
 	Schema      string         `json:"schema"`
 	GoVersion   string         `json:"go_version"`
+	HostCPUs    int            `json:"host_cpus"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Parallelism int            `json:"parallelism"`
 	Families    []familyReport `json:"families"`
@@ -127,6 +128,13 @@ func reportFamilies() []family {
 			}
 			return res.Digest(), nil
 		}},
+		family{"cache", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.CacheSweep(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
 	)
 	return fams
 }
@@ -139,6 +147,7 @@ func writeJSONReport(path string) error {
 	rep := benchReport{
 		Schema:      "delibabench/bench-v1",
 		GoVersion:   runtime.Version(),
+		HostCPUs:    runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: experiments.Parallelism(),
 	}

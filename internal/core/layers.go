@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/blockmq"
 	"repro/internal/fpga"
 	"repro/internal/iouring"
 	"repro/internal/legacyapi"
+	"repro/internal/lsvd"
 	"repro/internal/netsim"
 	"repro/internal/qdma"
 	"repro/internal/rados"
@@ -399,6 +402,9 @@ type pipelineStack struct {
 	transport Transport
 	placement Placement
 	fanout    FanoutLayer
+
+	// cache is the LSVD write-back tier (nil for cache-none specs).
+	cache *lsvd.Cache
 }
 
 func (s *pipelineStack) Name() string { return s.spec.Name }
@@ -417,7 +423,15 @@ func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu
 
 func (s *pipelineStack) ImageBytes() int64 { return s.image.Size }
 
-func (s *pipelineStack) Close() { s.host.Close() }
+func (s *pipelineStack) Close() {
+	s.host.Close()
+	if s.cache != nil {
+		s.cache.Close()
+	}
+}
+
+// Cache exposes the LSVD write-back cache tier; nil for cache-none specs.
+func (s *pipelineStack) Cache() *lsvd.Cache { return s.cache }
 
 // Spec returns the composition this stack was built from.
 func (s *pipelineStack) Spec() StackSpec { return s.spec }
@@ -452,6 +466,14 @@ func (tb *Testbed) BuildStack(spec StackSpec) (Stack, error) {
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if tb.Cfg.SplitDomains {
+		if spec.Transport != TransportHostOnly || spec.Placement != PlacementSoftware {
+			return nil, fmt.Errorf("core: split-domain testbed supports only host-only software-placement stacks; %q drives the card from the host domain", spec.Name)
+		}
+		if spec.EC {
+			return nil, fmt.Errorf("core: erasure coding is not supported on the split-domain testbed")
+		}
 	}
 	pool, image := tb.poolAndImage(spec.EC)
 	s := &pipelineStack{tb: tb, spec: spec, image: image, pool: pool}
@@ -570,8 +592,14 @@ func (tb *Testbed) buildURingCard(s *pipelineStack) error {
 		return err
 	}
 	s.block = &dmqBlock{kind: s.spec.Block, mq: mq}
-	target := &dmqTarget{eng: tb.Eng, mq: mq, mapCost: tb.CM.DKRBDMapCost,
-		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile}
+	var target iouring.Target = &dmqTarget{eng: tb.Eng, mq: mq, mapCost: tb.CM.DKRBDMapCost,
+		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile, bare: s.spec.Cache == CacheLSVD}
+	if s.spec.Cache == CacheLSVD {
+		target, err = tb.buildCacheTarget(s, target)
+		if err != nil {
+			return err
+		}
+	}
 	rs, err := newRingSet(tb, s.spec, target)
 	if err != nil {
 		return err
@@ -593,8 +621,14 @@ func (tb *Testbed) buildURingClient(s *pipelineStack) error {
 	s.transport = hostOnly{}
 	s.placement = swPlacement{}
 	s.fanout = &clientFanout{client: client}
-	target := &radosTarget{tb: tb, client: client, image: s.image, pool: s.pool,
-		mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile}
+	var target iouring.Target = &radosTarget{tb: tb, client: client, image: s.image, pool: s.pool,
+		mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile, bare: s.spec.Cache == CacheLSVD}
+	if s.spec.Cache == CacheLSVD {
+		target, err = tb.buildCacheTarget(s, target)
+		if err != nil {
+			return err
+		}
+	}
 	rs, err := newRingSet(tb, s.spec, target)
 	if err != nil {
 		return err

@@ -94,6 +94,10 @@ const (
 	// Subtracting the accelerator and fan-out stages isolates the kernel
 	// overhead itself.
 	StageKernel = "kernel+device round-trip"
+	// StageCache is the LSVD write-back cache tier residency, nested
+	// inside StageKernel: log append to durable ack for writes; cache
+	// lookup to device read (hit) or backend fill (miss) for reads.
+	StageCache = "lsvd-cache"
 	// StageTransport is the host↔card transport round trip: QDMA (from
 	// blk-mq dispatch to completion) or the legacy DMA crossings plus
 	// card residency. Host-only stacks record no transport span.

@@ -78,6 +78,18 @@ const (
 	FanoutHostTCP
 )
 
+// CacheKind selects the optional client-side write-back cache tier
+// between the kernel block layer and the transport.
+type CacheKind int
+
+const (
+	// CacheNone is the direct path of all five paper generations.
+	CacheNone CacheKind = iota
+	// CacheLSVD inserts the log-structured write-back cache
+	// (internal/lsvd) on a simulated NVMe-class log device.
+	CacheLSVD
+)
+
 func (k HostAPIKind) String() string {
 	return [...]string{"iouring", "nbd"}[k]
 }
@@ -98,6 +110,10 @@ func (k FanoutKind) String() string {
 	return [...]string{"card-rtl", "card-hls", "host-tcp"}[k]
 }
 
+func (k CacheKind) String() string {
+	return [...]string{"cache-none", "cache-lsvd"}[k]
+}
+
 // StackSpec declares one stack composition. The zero value is the full
 // DeLiBA-K hardware pipeline over the replicated pool.
 type StackSpec struct {
@@ -113,6 +129,18 @@ type StackSpec struct {
 
 	// EC selects the erasure-coded pool and image instead of replicated.
 	EC bool
+
+	// Cache optionally inserts the log-structured client-side write-back
+	// cache tier (internal/lsvd) under the kernel block layer, in front
+	// of the transport. CacheNone is the direct path.
+	Cache CacheKind
+	// CacheLogMB / CacheReadMB override the cache's write-log and
+	// read-cache partition sizes in MiB (0 = lsvd.DefaultConfig).
+	CacheLogMB  int
+	CacheReadMB int
+	// CacheVerify enables the cache's acked-write shadow audit
+	// (crash-recovery scenarios; costs memory per distinct range).
+	CacheVerify bool
 
 	// --- io_uring host-API tuning (ablation knobs) ---------------------
 
@@ -167,6 +195,9 @@ func (s StackSpec) canonicalName() string {
 	if s.EC {
 		name += "+ec"
 	}
+	if s.Cache == CacheLSVD {
+		name += "+" + s.Cache.String()
+	}
 	return name
 }
 
@@ -187,6 +218,27 @@ func (s StackSpec) Validate() error {
 	}
 	if s.Fanout < FanoutCardRTL || s.Fanout > FanoutHostTCP {
 		return fmt.Errorf("core: spec %q: unknown fanout %d", s.Name, int(s.Fanout))
+	}
+	if s.Cache < CacheNone || s.Cache > CacheLSVD {
+		return fmt.Errorf("core: spec %q: unknown cache tier %d", s.Name, int(s.Cache))
+	}
+
+	// Cache tier ↔ host API/block layer: the LSVD cache is a kernel
+	// block-layer citizen interposed under the ring target; the NBD
+	// daemons run in user space and have no block layer to host it.
+	if s.Cache == CacheLSVD {
+		if s.HostAPI != HostIOUring {
+			return fmt.Errorf("core: spec %q: cache tier %v lives under the kernel block layer and requires host API %v (the %v daemon runs in user space)", s.Name, s.Cache, HostIOUring, s.HostAPI)
+		}
+		if s.Block == BlockNone {
+			return fmt.Errorf("core: spec %q: cache tier %v requires a kernel block layer (dmq-bypass or mq-deadline), not %v", s.Name, s.Cache, s.Block)
+		}
+	}
+	if s.Cache == CacheNone && (s.CacheLogMB != 0 || s.CacheReadMB != 0 || s.CacheVerify) {
+		return fmt.Errorf("core: spec %q: cache options (cachelog/cacheread/verify) require %v", s.Name, CacheLSVD)
+	}
+	if s.CacheLogMB < 0 || s.CacheReadMB < 0 {
+		return fmt.Errorf("core: spec %q: negative cache size (log=%d read=%d MiB)", s.Name, s.CacheLogMB, s.CacheReadMB)
 	}
 
 	// Host API ↔ block layer: io_uring submits into the kernel block
@@ -269,80 +321,131 @@ func (s StackSpec) ringDepth() int {
 	return ringEntries
 }
 
-// ParseStackSpec builds a spec from a command-line string: either one of
-// the five stack names ("deliba-k-hw", ...) or a comma-separated list of
-// layer tokens and options, e.g.
+// namedKind resolves one of the five stack names to its kind.
+func namedKind(s string) (StackKind, bool) {
+	for _, kind := range []StackKind{StackDKHW, StackDKSW, StackD2HW, StackD2SW, StackD1HW} {
+		if s == kind.String() {
+			return kind, true
+		}
+	}
+	return 0, false
+}
+
+// applyToken applies one layer/option token to the spec.
+func (spec *StackSpec) applyToken(tok string) error {
+	if v, ok := strings.CutPrefix(tok, "instances="); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("core: bad instances %q", v)
+		}
+		spec.Instances = n
+		return nil
+	}
+	if v, ok := strings.CutPrefix(tok, "entries="); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("core: bad entries %q", v)
+		}
+		spec.RingEntries = n
+		return nil
+	}
+	if v, ok := strings.CutPrefix(tok, "cachelog="); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("core: bad cachelog %q", v)
+		}
+		spec.CacheLogMB = n
+		return nil
+	}
+	if v, ok := strings.CutPrefix(tok, "cacheread="); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("core: bad cacheread %q", v)
+		}
+		spec.CacheReadMB = n
+		return nil
+	}
+	switch tok {
+	case "iouring":
+		spec.HostAPI = HostIOUring
+	case "nbd":
+		spec.HostAPI = HostNBD
+	case "dmq-bypass":
+		spec.Block = BlockDMQBypass
+	case "mq-deadline":
+		spec.Block = BlockMQDeadline
+	case "noblock":
+		spec.Block = BlockNone
+	case "qdma":
+		spec.Transport = TransportQDMA
+	case "legacy-dma":
+		spec.Transport = TransportLegacyDMA
+	case "hostonly":
+		spec.Transport = TransportHostOnly
+	case "rtl-crush":
+		spec.Placement = PlacementRTL
+	case "hls-crush":
+		spec.Placement = PlacementHLS
+	case "sw-crush":
+		spec.Placement = PlacementSoftware
+	case "card-rtl":
+		spec.Fanout = FanoutCardRTL
+	case "card-hls":
+		spec.Fanout = FanoutCardHLS
+	case "host-tcp":
+		spec.Fanout = FanoutHostTCP
+	case "ec":
+		spec.EC = true
+	case "interrupt":
+		spec.RingInterrupt = true
+	case "cache-lsvd":
+		spec.Cache = CacheLSVD
+	case "cache-none":
+		spec.Cache = CacheNone
+	default:
+		return fmt.Errorf("core: unknown stack layer token %q", tok)
+	}
+	return nil
+}
+
+// ParseStackSpec builds a spec from a command-line string: one of the
+// five stack names ("deliba-k-hw", ...), a named stack extended with
+// '+'-joined option tokens ("deliba-k-hw+cache-lsvd"), or a comma- or
+// '+'-separated list of layer tokens and options, e.g.
 //
 //	"iouring,dmq-bypass,qdma,rtl-crush,card-rtl,ec,instances=1"
 //
 // Omitted layers default to the DeLiBA-K hardware pipeline; the result is
 // validated.
 func ParseStackSpec(s string) (StackSpec, error) {
-	for _, kind := range []StackKind{StackDKHW, StackDKSW, StackD2HW, StackD2SW, StackD1HW} {
-		if s == kind.String() {
-			return Spec(kind)
-		}
-	}
+	toks := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == '+' })
 	var spec StackSpec
-	for _, tok := range strings.Split(s, ",") {
-		tok = strings.TrimSpace(tok)
+	named := false
+	for i := range toks {
+		toks[i] = strings.TrimSpace(toks[i])
+		tok := toks[i]
 		if tok == "" {
 			continue
 		}
-		if v, ok := strings.CutPrefix(tok, "instances="); ok {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return StackSpec{}, fmt.Errorf("core: bad instances %q", v)
+		if kind, ok := namedKind(tok); ok {
+			if i != 0 {
+				return StackSpec{}, fmt.Errorf("core: stack name %q must come first in %q", tok, s)
 			}
-			spec.Instances = n
+			spec, _ = Spec(kind)
+			named = true
 			continue
 		}
-		if v, ok := strings.CutPrefix(tok, "entries="); ok {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return StackSpec{}, fmt.Errorf("core: bad entries %q", v)
-			}
-			spec.RingEntries = n
-			continue
-		}
-		switch tok {
-		case "iouring":
-			spec.HostAPI = HostIOUring
-		case "nbd":
-			spec.HostAPI = HostNBD
-		case "dmq-bypass":
-			spec.Block = BlockDMQBypass
-		case "mq-deadline":
-			spec.Block = BlockMQDeadline
-		case "noblock":
-			spec.Block = BlockNone
-		case "qdma":
-			spec.Transport = TransportQDMA
-		case "legacy-dma":
-			spec.Transport = TransportLegacyDMA
-		case "hostonly":
-			spec.Transport = TransportHostOnly
-		case "rtl-crush":
-			spec.Placement = PlacementRTL
-		case "hls-crush":
-			spec.Placement = PlacementHLS
-		case "sw-crush":
-			spec.Placement = PlacementSoftware
-		case "card-rtl":
-			spec.Fanout = FanoutCardRTL
-		case "card-hls":
-			spec.Fanout = FanoutCardHLS
-		case "host-tcp":
-			spec.Fanout = FanoutHostTCP
-		case "ec":
-			spec.EC = true
-		case "interrupt":
-			spec.RingInterrupt = true
-		default:
-			return StackSpec{}, fmt.Errorf("core: unknown stack layer token %q", tok)
+		if err := spec.applyToken(tok); err != nil {
+			return StackSpec{}, err
 		}
 	}
-	spec.Name = spec.canonicalName()
+	if named && len(toks) > 1 {
+		// A named base with extensions keeps the readable compound name
+		// ("deliba-k-hw+cache-lsvd"), normalised to '+' separators.
+		spec.Name = strings.Join(toks, "+")
+	} else if !named {
+		spec.Name = spec.canonicalName()
+	}
 	if err := spec.Validate(); err != nil {
 		return StackSpec{}, err
 	}

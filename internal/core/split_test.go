@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func splitConfig() TestbedConfig {
+	cfg := DefaultTestbedConfig()
+	cfg.Shards = 2
+	cfg.SplitDomains = true
+	return cfg
+}
+
+// splitRunDigest runs a mixed read/write stream on the split-domain
+// testbed over deliba-k-sw+cache-lsvd and returns an FNV digest of every
+// op's completion latency plus the group's cross-shard message count.
+func splitRunDigest(t *testing.T, seed uint64) (uint64, uint64) {
+	t.Helper()
+	tb, err := NewTestbed(splitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ParseStackSpec("deliba-k-sw+cache-lsvd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := tb.BuildStack(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	tb.Eng.Spawn("split-io", func(p *sim.Proc) {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			op := Write
+			if rng.Intn(100) < 50 {
+				op = Read
+			}
+			off := int64(rng.Intn(256)) * 4096
+			start := p.Now()
+			if err := Do(p, stack, op, Rand, off, 4096, 0); err != nil {
+				t.Errorf("op %d: %v", i, err)
+				return
+			}
+			fmt.Fprintf(h, "%d|%d\n", i, int64(p.Now().Sub(start)))
+		}
+	})
+	tb.Eng.Run()
+	if tb.Shards == nil {
+		t.Fatal("split testbed built no shard group")
+	}
+	cache := CacheOf(stack)
+	if cache == nil {
+		t.Fatal("cache-lsvd stack exposes no cache")
+	}
+	if st := cache.Stats(); st.Appends == 0 {
+		t.Error("cache log never appended: writes bypassed the cache tier")
+	}
+	posted := tb.Shards.Posted()
+	stack.Close()
+	tb.Eng.Run() // drain the cache flusher's shutdown
+	return h.Sum64(), posted
+}
+
+// TestSplitDomainsSmoke drives the host-domain client + LSVD cache against
+// OSDs living on a second shard and checks the run actually crossed the
+// shard boundary and replays bit-identically.
+func TestSplitDomainsSmoke(t *testing.T) {
+	d1, posted := splitRunDigest(t, 7)
+	d2, _ := splitRunDigest(t, 7)
+	if d1 != d2 {
+		t.Fatalf("split-domain run not deterministic: %#x vs %#x", d1, d2)
+	}
+	if posted == 0 {
+		t.Fatal("no cross-shard messages: the OSD domain never left the host shard")
+	}
+	if d3, _ := splitRunDigest(t, 8); d3 == d1 {
+		t.Error("digest insensitive to the workload seed")
+	}
+}
+
+// TestSplitDomainsRejects pins the unsupported combinations: split mode
+// needs >= 2 shards, and the card models, erasure coding and the
+// resilience layer all drive cluster state from the host domain.
+func TestSplitDomainsRejects(t *testing.T) {
+	cfg := DefaultTestbedConfig()
+	cfg.SplitDomains = true
+	if _, err := NewTestbed(cfg); err == nil || !strings.Contains(err.Error(), "Shards >= 2") {
+		t.Errorf("SplitDomains without shards: %v", err)
+	}
+	cfg.Shards = 2
+	cfg.Resilience.Enabled = true
+	if _, err := NewTestbed(cfg); err == nil || !strings.Contains(err.Error(), "resilience") {
+		t.Errorf("SplitDomains with resilience: %v", err)
+	}
+
+	tb, err := NewTestbed(splitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"deliba-k-hw", "deliba-2-hw", "deliba-1-hw"} {
+		sp, err := ParseStackSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tb.BuildStack(sp); err == nil || !strings.Contains(err.Error(), "split-domain") {
+			t.Errorf("card stack %s on split testbed: %v", spec, err)
+		}
+	}
+	sp, err := ParseStackSpec("deliba-k-sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.EC = true
+	if _, err := tb.BuildStack(sp); err == nil || !strings.Contains(err.Error(), "erasure") {
+		t.Errorf("EC stack on split testbed: %v", err)
+	}
+}

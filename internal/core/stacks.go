@@ -161,6 +161,9 @@ type dmqTarget struct {
 	mapCost    sim.Duration
 	writeExtra sim.Duration
 	prof       *StageProfile
+	// bare skips the kernel span and RBD map cost: the cacheTarget
+	// wrapping this target already charged them once above the cache.
+	bare bool
 }
 
 func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
@@ -170,8 +173,13 @@ func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
 		op = blockmq.OpWrite
 		extra = t.writeExtra
 	}
-	endKernel := t.prof.span(StageKernel)
-	t.eng.Schedule(t.mapCost+extra, func() {
+	endKernel := func() {}
+	delay := extra
+	if !t.bare {
+		endKernel = t.prof.span(StageKernel)
+		delay += t.mapCost
+	}
+	t.eng.Schedule(delay, func() {
 		// The transport span is the below-block-layer round trip: QDMA
 		// H2C, card residency, C2H. Subtract the card stages to isolate
 		// the transport itself.
@@ -197,13 +205,18 @@ type radosTarget struct {
 	pool    *rados.Pool
 	mapCost sim.Duration
 	prof    *StageProfile
+	// bare skips the kernel span and RBD map cost: the cacheTarget
+	// wrapping this target already charged them once above the cache.
+	bare bool
 }
 
 func (t *radosTarget) Submit(req iouring.Request, complete func(res int32)) {
 	t.tb.Eng.Spawn("dksw-io", func(p *sim.Proc) {
-		endKernel := t.prof.span(StageKernel)
-		p.Sleep(t.mapCost)
-		endKernel()
+		if !t.bare {
+			endKernel := t.prof.span(StageKernel)
+			p.Sleep(t.mapCost)
+			endKernel()
+		}
 		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0}
 		err := t.image.VisitExtents(req.Off, int(req.Len), true, func(e rbd.Extent) error {
 			endFan := t.prof.span(StageFanout)
@@ -239,6 +252,10 @@ func newSWClient(tb *Testbed, name string) (*rados.Client, error) {
 	client.Functional = tb.Cfg.Functional
 	if tb.Res != nil {
 		client.Retry = tb.Res.retryPolicy()
+	}
+	if tb.Cfg.SplitDomains {
+		client.Split = true
+		client.Eng = tb.Eng
 	}
 	return client, nil
 }

@@ -58,6 +58,17 @@ type TestbedConfig struct {
 	// domains (the city-scale experiment family) or simply idle. 0 or 1
 	// builds a plain engine.
 	Shards int
+	// SplitDomains partitions the classic testbed itself over the shard
+	// group: the client host — rings, kernel layers and the LSVD cache
+	// device — forms one topology domain on shard 0 while the OSD nodes
+	// share a second domain on shard 1, with the network propagation delay
+	// as the conservative lookahead between them. Requires Shards >= 2 and
+	// restricts the buildable stacks to host-only software-placement
+	// shapes (the card models and the resilience/fault layers drive
+	// cluster state from the host side). Event order is NOT byte-identical
+	// to the single-domain testbed — the replication protocol becomes
+	// arrival-driven — but replays bit-identically for any worker count.
+	SplitDomains bool
 }
 
 // DefaultTestbedConfig returns the paper-testbed shape in benchmark mode.
@@ -109,19 +120,38 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		cm := DefaultCostModel()
 		cfg.CM = &cm
 	}
-	var eng *sim.Engine
+	var eng, osdEng *sim.Engine
 	var group *sim.Shards
-	if cfg.Shards > 1 {
+	var hostDom, osdDom sim.DomainID
+	switch {
+	case cfg.SplitDomains:
+		if cfg.Shards < 2 {
+			return nil, fmt.Errorf("core: SplitDomains needs Shards >= 2 (host and OSD domains on separate shards), got %d", cfg.Shards)
+		}
+		if cfg.Resilience.Enabled {
+			return nil, fmt.Errorf("core: resilience is not supported with SplitDomains (retry attempts and failover read cluster state from the host domain)")
+		}
+		group = sim.NewShards(cfg.Shards, cfg.CM.Propagation)
+		hostDom, eng = group.AddDomainAt("host", 0)
+		osdDom, osdEng = group.AddDomainAt("osds", 1)
+	case cfg.Shards > 1:
 		group = sim.NewShards(cfg.Shards, cfg.CM.Propagation)
 		_, eng = group.AddDomainAt("testbed", 0)
-	} else {
+	default:
 		eng = sim.NewEngine()
 	}
 	// Topology hint: pre-size the event pool for the testbed's steady state
 	// (per-OSD queues plus in-flight fabric messages) so benchmark runs never
 	// grow the heap on the hot path.
-	eng.Reserve(cfg.Nodes*cfg.OSDsPerNode*64 + 4096)
+	clusterEng := eng
+	if osdEng != nil {
+		clusterEng = osdEng
+	}
+	clusterEng.Reserve(cfg.Nodes*cfg.OSDsPerNode*64 + 4096)
 	fabric := netsim.NewFabric(eng, cfg.CM.Propagation)
+	if cfg.SplitDomains {
+		fabric.Shard(group, hostDom)
+	}
 	ccfg := rados.DefaultClusterConfig()
 	ccfg.Nodes = cfg.Nodes
 	ccfg.OSDsPerNode = cfg.OSDsPerNode
@@ -135,9 +165,16 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	} else {
 		ccfg.NewStore = func() rados.ObjectStore { return rados.NewNullStore() }
 	}
-	cluster, err := rados.NewCluster(eng, fabric, ccfg)
+	cluster, err := rados.NewCluster(clusterEng, fabric, ccfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SplitDomains {
+		// The cluster added its node hosts under the fabric's default (host)
+		// domain; pin them to the OSD domain before anything runs.
+		for _, h := range cluster.NodeHosts {
+			fabric.PlaceHost(h, osdDom, osdEng)
+		}
 	}
 	repl, err := cluster.CreateReplicatedPool("rbd", cfg.ReplicaSize, cfg.PGs)
 	if err != nil {

@@ -13,6 +13,12 @@ var goldenDigests = map[string]uint64{
 	"tab2":      0xa13a977d7007ab33,
 	"ablations": 0xb91daf403fdc5eda,
 	"faults":    0x3f53b6f4787217e9,
+	// The remaining four families, captured immediately before the cache
+	// tier landed: every cache-none path must stay byte-identical.
+	"fig8":     0x3d53f08d498a0a72,
+	"buckets":  0xb4f1ec737cf3b848,
+	"recovery": 0x57c3e961ae11dea2,
+	"oltp":     0xd9b73bd3c0054f3b,
 }
 
 func TestGoldenDigests(t *testing.T) {
@@ -48,6 +54,34 @@ func TestGoldenDigests(t *testing.T) {
 		},
 		"faults": func() (uint64, error) {
 			res, err := FaultSweep(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"fig8": func() (uint64, error) {
+			res, err := Fig8and9(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"buckets": func() (uint64, error) {
+			rows, err := BucketQuality()
+			if err != nil {
+				return 0, err
+			}
+			return BucketQualityDigest(rows), nil
+		},
+		"recovery": func() (uint64, error) {
+			res, err := Recovery(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		},
+		"oltp": func() (uint64, error) {
+			res, err := OLTP(cfg)
 			if err != nil {
 				return 0, err
 			}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/lsvd"
 	"repro/internal/netsim"
 	"repro/internal/rados"
 	"repro/internal/sim"
@@ -39,6 +40,11 @@ const (
 	Partition
 	// HealPartition removes the partition.
 	HealPartition
+	// CrashCache power-fails the client-side write-back cache: every
+	// log append not yet durable on the cache device is lost.
+	CrashCache
+	// RecoverCache replays the surviving log and resumes held I/O.
+	RecoverCache
 )
 
 func (k EventKind) String() string {
@@ -59,6 +65,10 @@ func (k EventKind) String() string {
 		return "partition"
 	case HealPartition:
 		return "heal-partition"
+	case CrashCache:
+		return "crash-cache"
+	case RecoverCache:
+		return "recover-cache"
 	}
 	return "?"
 }
@@ -88,6 +98,10 @@ type Stats struct {
 	Slowdowns  uint64
 	Flaps      uint64
 	Partitions uint64
+	// CacheCrashes/CacheRecoveries count write-back cache power-fail and
+	// log-replay transitions.
+	CacheCrashes    uint64
+	CacheRecoveries uint64
 	// HookDrops counts wire messages removed by loss, flaps or partitions.
 	HookDrops uint64
 }
@@ -188,6 +202,26 @@ func (in *Injector) ScheduleCrash(at sim.Duration, osd int, downFor sim.Duration
 		in.eng.Schedule(at+downFor, func() {
 			in.stats.Restarts++
 			o.SetUp(true)
+		})
+	}
+}
+
+// ScheduleCacheCrash power-fails the client-side write-back cache at
+// offset at, losing every append not yet durable on the cache device;
+// if recoverAfter > 0 it replays the surviving log recoverAfter later
+// (otherwise the cache stays down and holds submitted I/O). The pair
+// joins the injector's schedule, so cache-crash scenarios share the
+// digest discipline of the OSD fault families.
+func (in *Injector) ScheduleCacheCrash(at sim.Duration, cache *lsvd.Cache, recoverAfter sim.Duration) {
+	in.record(Event{At: at, Kind: CrashCache})
+	in.eng.Schedule(at, func() {
+		in.stats.CacheCrashes++
+		cache.Crash()
+	})
+	if recoverAfter > 0 {
+		in.record(Event{At: at + recoverAfter, Kind: RecoverCache})
+		in.eng.Schedule(at+recoverAfter, func() {
+			cache.Recover(func() { in.stats.CacheRecoveries++ })
 		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/lsvd"
 	"repro/internal/netsim"
 	"repro/internal/rados"
 	"repro/internal/sim"
@@ -269,4 +270,71 @@ func ExampleBackoff() {
 	// true
 	// true
 	// true
+}
+
+// stubTier is a minimal lsvd backend for cache-crash event tests.
+type stubTier struct{ eng *sim.Engine }
+
+func (b *stubTier) ReadMiss(off int64, n int, done func(error)) {
+	b.eng.Schedule(50*sim.Microsecond, func() { done(nil) })
+}
+
+func (b *stubTier) FlushExtent(p *sim.Proc, off int64, n int) error {
+	p.Sleep(50 * sim.Microsecond)
+	return nil
+}
+
+// TestCacheCrashEventCrashesAndRecovers drives a write stream across a
+// scheduled cache power-fail and checks the injector records the pair,
+// the cache replays, and no acknowledged write is lost.
+func TestCacheCrashEventCrashesAndRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := lsvd.DefaultConfig()
+	cfg.LogBytes = 1 << 20
+	cfg.SegmentBytes = 64 << 10
+	cfg.Verify = true
+	cache, err := lsvd.New(eng, cfg, &stubTier{eng: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := netsim.NewFabric(eng, sim.Microsecond)
+	cl, err := rados.NewCluster(eng, fab, rados.ClusterConfig{
+		Nodes: 1, OSDsPerNode: 1, NICBitsPerSec: 10e9,
+		NodeStack: netsim.SoftwareStack, Profile: rados.DefaultOSDProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(eng, cl, 1)
+	in.ScheduleCacheCrash(300*sim.Microsecond, cache, 200*sim.Microsecond)
+
+	acks := 0
+	for i := 0; i < 100; i++ {
+		off := int64(i%32) * 4096
+		eng.Schedule(sim.Duration(i)*10*sim.Microsecond, func() {
+			cache.Write(off, 4096, func(err error) {
+				if err != nil {
+					t.Errorf("write: %v", err)
+				}
+				acks++
+			})
+		})
+	}
+	eng.Run()
+
+	if acks != 100 {
+		t.Fatalf("acked %d/100 writes across the crash", acks)
+	}
+	st := in.Stats()
+	if st.CacheCrashes != 1 || st.CacheRecoveries != 1 {
+		t.Fatalf("injector stats crashes=%d recoveries=%d, want 1/1", st.CacheCrashes, st.CacheRecoveries)
+	}
+	cs := cache.Stats()
+	if cs.Recoveries != 1 || cs.LostAcked != 0 {
+		t.Fatalf("cache recoveries=%d lostAcked=%d, want 1/0", cs.Recoveries, cs.LostAcked)
+	}
+	evs := in.Events()
+	if len(evs) != 2 || evs[0].Kind != CrashCache || evs[1].Kind != RecoverCache {
+		t.Fatalf("schedule = %v, want crash-cache then recover-cache", evs)
+	}
 }

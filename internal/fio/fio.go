@@ -36,6 +36,16 @@ type JobSpec struct {
 	RampOps int
 	// OffsetRange bounds the byte range exercised (0 = whole image).
 	OffsetRange int64
+	// ZipfTheta skews random offsets toward low-numbered blocks with a
+	// bounded Zipf(theta) distribution (Gray et al.), scrambled across
+	// the range so hot blocks are scattered. 0 disables (uniform); only
+	// meaningful with Pattern == core.Rand.
+	ZipfTheta float64
+	// HotOpPct directs that percentage of random ops at the first
+	// HotRangeBytes of the range (a two-level hot/cold split, the
+	// classic cache-hit workload). 0 disables.
+	HotOpPct      int
+	HotRangeBytes int64
 	// ThinkTime inserts virtual compute between issuing I/Os (application
 	// processing, used by the OLAP/OLTP workloads).
 	ThinkTime sim.Duration
@@ -195,6 +205,17 @@ func runWorker(p *sim.Proc, stack core.Stack, spec JobSpec, job int, res *Result
 	seqOff := segStart
 
 	blocks := spec.OffsetRange / int64(spec.BlockSize)
+	var hotBlocks int64
+	if spec.HotOpPct > 0 && spec.HotRangeBytes > 0 {
+		hotBlocks = spec.HotRangeBytes / int64(spec.BlockSize)
+		if hotBlocks > blocks {
+			hotBlocks = blocks
+		}
+	}
+	var zipf *zipfGen
+	if spec.ZipfTheta > 0 && spec.HotOpPct == 0 {
+		zipf = newZipfGen(blocks, spec.ZipfTheta)
+	}
 	total := spec.RampOps + spec.Ops
 	allDone := eng.NewCompletion()
 	outstanding := total
@@ -205,7 +226,21 @@ func runWorker(p *sim.Proc, stack core.Stack, spec JobSpec, job int, res *Result
 
 		var off int64
 		if spec.Pattern == core.Rand {
-			off = rng.Int63n(blocks) * int64(spec.BlockSize)
+			switch {
+			case spec.HotOpPct > 0 && hotBlocks > 0:
+				if rng.Intn(100) < spec.HotOpPct {
+					off = rng.Int63n(hotBlocks) * int64(spec.BlockSize)
+				} else {
+					off = rng.Int63n(blocks) * int64(spec.BlockSize)
+				}
+			case zipf != nil:
+				rank := zipf.next(rng)
+				// Scatter ranks across the range so the hot set is not
+				// one contiguous prefix.
+				off = (rank * 2654435761) % blocks * int64(spec.BlockSize)
+			default:
+				off = rng.Int63n(blocks) * int64(spec.BlockSize)
+			}
 		} else {
 			off = seqOff
 			seqOff += int64(spec.BlockSize)

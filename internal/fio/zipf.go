@@ -1,0 +1,61 @@
+package fio
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// zipfGen draws ranks in [0, n) from a bounded Zipf(theta)
+// distribution using the Gray et al. (SIGMOD '94) rejection-free
+// method: one uniform draw per sample, constants precomputed once per
+// worker. theta in (0, 1); theta ~0.99 matches YCSB's default skew.
+type zipfGen struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+func newZipfGen(n int64, theta float64) *zipfGen {
+	if n < 1 {
+		n = 1
+	}
+	if theta >= 1 {
+		theta = 0.999
+	}
+	z := &zipfGen{n: n, theta: theta}
+	zeta2 := zetaSum(2, theta)
+	z.zetan = zetaSum(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.half = math.Pow(0.5, theta)
+	return z
+}
+
+func zetaSum(n int64, theta float64) float64 {
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// next draws one rank; rank 0 is the hottest.
+func (z *zipfGen) next(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}

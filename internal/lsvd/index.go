@@ -1,0 +1,321 @@
+// Package lsvd models a log-structured, crash-consistent client-side
+// write-back cache (LSVD-style) on an NVMe-class local device: an
+// append-only segmented write log with an in-memory extent index, a
+// read cache with read-around fill, and background flush/GC draining
+// sealed segments to a slower backend tier.
+//
+// The package is pure simulation: no payload bytes move, only extent
+// bookkeeping and device/backend timing charges. It depends only on
+// internal/sim so that faults, core and experiments can all wire it in
+// without import cycles.
+package lsvd
+
+import "sort"
+
+// Extent maps the virtual-disk byte range [Off, End) to a location in
+// the cache: segment Seg at byte offset SegOff within that segment's
+// payload area. Seq is the global append sequence of the record the
+// extent came from; newer sequences shadow older ones.
+type Extent struct {
+	Off, End int64
+	Seg      int
+	SegOff   int64
+	Seq      uint64
+}
+
+// Index is a sorted, non-overlapping set of extents over the virtual
+// disk. Lookups and range walks are allocation-free; Insert amortizes
+// slice growth. The newest-wins property is positional: Insert always
+// replaces whatever it overlaps, so callers must insert in sequence
+// order (the device completes appends FIFO, which guarantees it).
+type Index struct {
+	exts []Extent
+}
+
+// Len returns the number of extents in the index.
+func (ix *Index) Len() int { return len(ix.exts) }
+
+// Bytes returns the total number of bytes the index maps.
+func (ix *Index) Bytes() int64 {
+	var n int64
+	for i := range ix.exts {
+		n += ix.exts[i].End - ix.exts[i].Off
+	}
+	return n
+}
+
+// Reset empties the index, retaining capacity.
+func (ix *Index) Reset() { ix.exts = ix.exts[:0] }
+
+// search returns the position of the first extent with End > off.
+func (ix *Index) search(off int64) int {
+	return sort.Search(len(ix.exts), func(i int) bool { return ix.exts[i].End > off })
+}
+
+// Insert maps e's range, trimming or splitting anything it overlaps,
+// and returns the number of previously-mapped bytes it replaced.
+func (ix *Index) Insert(e Extent) int64 {
+	if e.End <= e.Off {
+		return 0
+	}
+	i := ix.search(e.Off)
+	j := i
+	var left, right Extent
+	hasLeft, hasRight := false, false
+	var replaced int64
+	for j < len(ix.exts) && ix.exts[j].Off < e.End {
+		old := ix.exts[j]
+		lo, hi := old.Off, old.End
+		if lo < e.Off {
+			left = old
+			left.End = e.Off
+			hasLeft = true
+			lo = e.Off
+		}
+		if hi > e.End {
+			right = old
+			right.SegOff += e.End - old.Off
+			right.Off = e.End
+			hasRight = true
+			hi = e.End
+		}
+		replaced += hi - lo
+		j++
+	}
+	var repl [3]Extent
+	r := repl[:0]
+	if hasLeft {
+		r = append(r, left)
+	}
+	r = append(r, e)
+	if hasRight {
+		r = append(r, right)
+	}
+	ix.splice(i, j, r)
+	return replaced
+}
+
+// splice replaces exts[i:j] with r without allocating beyond the
+// backing array's amortized growth.
+func (ix *Index) splice(i, j int, r []Extent) {
+	n := len(ix.exts)
+	d := len(r) - (j - i)
+	switch {
+	case d > 0:
+		for k := 0; k < d; k++ {
+			ix.exts = append(ix.exts, Extent{})
+		}
+		copy(ix.exts[j+d:], ix.exts[j:n])
+	case d < 0:
+		copy(ix.exts[j+d:], ix.exts[j:])
+		ix.exts = ix.exts[:n+d]
+	}
+	copy(ix.exts[i:], r)
+}
+
+// RemoveRange unmaps [off, end), splitting boundary extents, and
+// returns the number of bytes removed.
+func (ix *Index) RemoveRange(off, end int64) int64 {
+	if end <= off {
+		return 0
+	}
+	i := ix.search(off)
+	j := i
+	var left, right Extent
+	hasLeft, hasRight := false, false
+	var removed int64
+	for j < len(ix.exts) && ix.exts[j].Off < end {
+		old := ix.exts[j]
+		lo, hi := old.Off, old.End
+		if lo < off {
+			left = old
+			left.End = off
+			hasLeft = true
+			lo = off
+		}
+		if hi > end {
+			right = old
+			right.SegOff += end - old.Off
+			right.Off = end
+			hasRight = true
+			hi = end
+		}
+		removed += hi - lo
+		j++
+	}
+	if removed == 0 {
+		return 0
+	}
+	var repl [2]Extent
+	r := repl[:0]
+	if hasLeft {
+		r = append(r, left)
+	}
+	if hasRight {
+		r = append(r, right)
+	}
+	ix.splice(i, j, r)
+	return removed
+}
+
+// DropRangeSeq unmaps the portions of [off, end) whose extents carry
+// exactly sequence seq, returning the bytes removed. Used by the read
+// cache's FIFO eviction: an entry is only evicted if the range is
+// still owned by the fill that queued it.
+func (ix *Index) DropRangeSeq(off, end int64, seq uint64) int64 {
+	var removed int64
+	for {
+		i := ix.search(off)
+		// Find the next extent inside [off, end) with a matching seq.
+		for i < len(ix.exts) && ix.exts[i].Off < end && ix.exts[i].Seq != seq {
+			i++
+		}
+		if i >= len(ix.exts) || ix.exts[i].Off >= end {
+			return removed
+		}
+		lo, hi := ix.exts[i].Off, ix.exts[i].End
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		removed += ix.RemoveRange(lo, hi)
+		off = hi
+	}
+}
+
+// DropSeg unmaps every extent stored in segment seg (after its live
+// data has been flushed), returning the bytes removed.
+func (ix *Index) DropSeg(seg int) int64 {
+	var removed int64
+	out := ix.exts[:0]
+	for _, e := range ix.exts {
+		if e.Seg == seg {
+			removed += e.End - e.Off
+			continue
+		}
+		out = append(out, e)
+	}
+	ix.exts = out
+	return removed
+}
+
+// VisitRange calls fn for each extent overlapping [off, end) in
+// ascending order, stopping early if fn returns false. The extents
+// passed to fn are clipped to the range. Allocation-free.
+func (ix *Index) VisitRange(off, end int64, fn func(Extent) bool) {
+	for i := ix.search(off); i < len(ix.exts) && ix.exts[i].Off < end; i++ {
+		e := ix.exts[i]
+		if e.Off < off {
+			e.SegOff += off - e.Off
+			e.Off = off
+		}
+		if e.End > end {
+			e.End = end
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// CollectSeg appends every extent stored in segment seg to buf and
+// returns it. Used by the flusher to snapshot a segment's live data.
+func (ix *Index) CollectSeg(seg int, buf []Extent) []Extent {
+	for _, e := range ix.exts {
+		if e.Seg == seg {
+			buf = append(buf, e)
+		}
+	}
+	return buf
+}
+
+// SegBytes returns the number of live bytes the index maps in segment
+// seg.
+func (ix *Index) SegBytes(seg int) int64 {
+	var n int64
+	for i := range ix.exts {
+		if ix.exts[i].Seg == seg {
+			n += ix.exts[i].End - ix.exts[i].Off
+		}
+	}
+	return n
+}
+
+// Covered reports whether [off, end) is fully mapped by the index.
+func (ix *Index) Covered(off, end int64) bool {
+	if end <= off {
+		return true
+	}
+	pos := off
+	for i := ix.search(off); i < len(ix.exts) && ix.exts[i].Off < end; i++ {
+		if ix.exts[i].Off > pos {
+			return false
+		}
+		if ix.exts[i].End >= end {
+			return true
+		}
+		pos = ix.exts[i].End
+	}
+	return false
+}
+
+// CoveredUnion reports whether [off, end) is fully covered by the
+// union of indexes a and b. Allocation-free: a greedy two-cursor walk
+// that repeatedly extends the covered frontier with whichever index
+// reaches further from the current position.
+func CoveredUnion(a, b *Index, off, end int64) bool {
+	if end <= off {
+		return true
+	}
+	pos := off
+	for pos < end {
+		next := extendFrom(a, pos)
+		if nb := extendFrom(b, pos); nb > next {
+			next = nb
+		}
+		if next <= pos {
+			return false
+		}
+		pos = next
+	}
+	return true
+}
+
+// extendFrom returns the furthest contiguous coverage end reachable in
+// ix starting exactly at pos, or pos if ix does not map pos.
+func extendFrom(ix *Index, pos int64) int64 {
+	i := ix.search(pos)
+	if i >= len(ix.exts) || ix.exts[i].Off > pos {
+		return pos
+	}
+	end := ix.exts[i].End
+	for i++; i < len(ix.exts) && ix.exts[i].Off <= end; i++ {
+		if ix.exts[i].End > end {
+			end = ix.exts[i].End
+		}
+	}
+	return end
+}
+
+// VisitGaps calls fn for each maximal sub-range of [off, end) that is
+// NOT mapped by the index. Used by read-around fill to cache only the
+// clean bytes of a fetched window.
+func (ix *Index) VisitGaps(off, end int64, fn func(off, end int64)) {
+	pos := off
+	for i := ix.search(off); i < len(ix.exts) && ix.exts[i].Off < end; i++ {
+		if ix.exts[i].Off > pos {
+			fn(pos, ix.exts[i].Off)
+		}
+		if ix.exts[i].End > pos {
+			pos = ix.exts[i].End
+		}
+		if pos >= end {
+			return
+		}
+	}
+	if pos < end {
+		fn(pos, end)
+	}
+}

@@ -1,0 +1,175 @@
+package lsvd
+
+import "testing"
+
+func checkIndexInvariant(t *testing.T, ix *Index) {
+	t.Helper()
+	var prev int64 = -1
+	for i, e := range ix.exts {
+		if e.End <= e.Off {
+			t.Fatalf("extent %d empty: %+v", i, e)
+		}
+		if e.Off < prev {
+			t.Fatalf("extent %d overlaps or disorders at %d (prev end %d)", i, e.Off, prev)
+		}
+		prev = e.End
+	}
+}
+
+// FuzzExtentIndex drives the index with random overlapping inserts,
+// range removals and segment drops, mirroring every mutation into a
+// naive per-byte shadow map, then checks the two agree byte-for-byte —
+// including the log-position arithmetic across splits.
+func FuzzExtentIndex(f *testing.F) {
+	f.Add([]byte{0, 0, 4, 1, 0, 8, 4, 2, 5, 2, 8, 0})
+	f.Add([]byte{1, 10, 3, 1, 1, 12, 3, 2, 1, 8, 9, 3, 6, 0, 0, 1})
+	f.Add([]byte{2, 100, 50, 1, 2, 120, 10, 2, 5, 110, 30, 0, 2, 90, 80, 4})
+	f.Add([]byte{3, 200, 1, 1, 3, 200, 1, 2, 3, 199, 3, 3, 6, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const domain = int64(1) << 12
+		var ix Index
+		seqOf := make([]uint64, domain)
+		segOf := make([]int, domain)
+		logPos := make([]int64, domain)
+		var seq uint64
+		for i := 0; i+4 <= len(data); i += 4 {
+			op := data[i] % 8
+			off := int64(data[i+1]) * 16
+			ln := int64(data[i+2])%64*8 + 1
+			if off >= domain {
+				off = domain - 1
+			}
+			if off+ln > domain {
+				ln = domain - off
+			}
+			switch {
+			case op < 6: // insert
+				seq++
+				seg := int(data[i+3] % 8)
+				segOff := int64(data[i+3]) * 32
+				ix.Insert(Extent{Off: off, End: off + ln, Seg: seg, SegOff: segOff, Seq: seq})
+				for b := off; b < off+ln; b++ {
+					seqOf[b] = seq
+					segOf[b] = seg
+					logPos[b] = segOff + (b - off)
+				}
+			case op == 6:
+				ix.RemoveRange(off, off+ln)
+				for b := off; b < off+ln; b++ {
+					seqOf[b] = 0
+				}
+			default:
+				seg := int(data[i+3] % 8)
+				ix.DropSeg(seg)
+				for b := range seqOf {
+					if seqOf[b] != 0 && segOf[b] == seg {
+						seqOf[b] = 0
+					}
+				}
+			}
+			checkIndexInvariant(t, &ix)
+		}
+		var wantBytes int64
+		for b := int64(0); b < domain; b++ {
+			e, ok := ix.At(b)
+			if mapped := seqOf[b] != 0; mapped != ok {
+				t.Fatalf("byte %d: index mapped=%v shadow mapped=%v", b, ok, mapped)
+			}
+			if !ok {
+				continue
+			}
+			wantBytes++
+			if e.Seq != seqOf[b] {
+				t.Fatalf("byte %d: index seq %d shadow seq %d", b, e.Seq, seqOf[b])
+			}
+			if e.Seg != segOf[b] {
+				t.Fatalf("byte %d: index seg %d shadow seg %d", b, e.Seg, segOf[b])
+			}
+			if got := e.SegOff + (b - e.Off); got != logPos[b] {
+				t.Fatalf("byte %d: log position %d shadow %d (split arithmetic)", b, got, logPos[b])
+			}
+		}
+		if got := ix.Bytes(); got != wantBytes {
+			t.Fatalf("Bytes() = %d, shadow maps %d", got, wantBytes)
+		}
+		// Covered must agree with the shadow on a sweep of ranges.
+		for start := int64(0); start < domain; start += 97 {
+			end := start + 256
+			if end > domain {
+				end = domain
+			}
+			want := true
+			for b := start; b < end; b++ {
+				if seqOf[b] == 0 {
+					want = false
+					break
+				}
+			}
+			if got := ix.Covered(start, end); got != want {
+				t.Fatalf("Covered(%d,%d) = %v, shadow %v", start, end, got, want)
+			}
+		}
+	})
+}
+
+func TestIndexDropRangeSeq(t *testing.T) {
+	var ix Index
+	ix.Insert(Extent{Off: 0, End: 100, Seq: 1})
+	ix.Insert(Extent{Off: 40, End: 60, Seq: 2})
+	// Evicting the seq-1 fill must not touch the newer seq-2 overlay.
+	if got := ix.DropRangeSeq(0, 100, 1); got != 80 {
+		t.Fatalf("DropRangeSeq removed %d bytes, want 80", got)
+	}
+	if !ix.Covered(40, 60) {
+		t.Fatal("seq-2 range should survive")
+	}
+	if ix.Covered(0, 41) || ix.Covered(59, 100) {
+		t.Fatal("seq-1 ranges should be gone")
+	}
+	if got := ix.DropRangeSeq(0, 100, 2); got != 20 {
+		t.Fatalf("second DropRangeSeq removed %d bytes, want 20", got)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("index should be empty, has %d extents", ix.Len())
+	}
+}
+
+func TestCoveredUnion(t *testing.T) {
+	var a, b Index
+	a.Insert(Extent{Off: 0, End: 50, Seq: 1})
+	b.Insert(Extent{Off: 50, End: 100, Seq: 2})
+	if !CoveredUnion(&a, &b, 0, 100) {
+		t.Fatal("adjacent coverage across two indexes should count")
+	}
+	if CoveredUnion(&a, &b, 0, 101) {
+		t.Fatal("byte 100 is uncovered")
+	}
+	b.Insert(Extent{Off: 25, End: 75, Seq: 3})
+	if !CoveredUnion(&a, &b, 10, 90) {
+		t.Fatal("overlapping coverage should count")
+	}
+	var empty Index
+	if CoveredUnion(&empty, &empty, 0, 1) {
+		t.Fatal("empty indexes cover nothing")
+	}
+	if !CoveredUnion(&empty, &empty, 5, 5) {
+		t.Fatal("empty range is trivially covered")
+	}
+}
+
+func TestVisitGaps(t *testing.T) {
+	var ix Index
+	ix.Insert(Extent{Off: 10, End: 20, Seq: 1})
+	ix.Insert(Extent{Off: 30, End: 40, Seq: 2})
+	var gaps [][2]int64
+	ix.VisitGaps(0, 50, func(o, e int64) { gaps = append(gaps, [2]int64{o, e}) })
+	want := [][2]int64{{0, 10}, {20, 30}, {40, 50}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFabricSplitDomainsTiming pins the sharded fabric's cost structure:
+// a cross-domain message pays exactly the same sender stack, wire,
+// propagation and receiver stack as the single-engine path, with delivery
+// handed to the destination shard at the NIC-arrival instant.
+func TestFabricSplitDomainsTiming(t *testing.T) {
+	const prop = 2 * sim.Microsecond
+	group := sim.NewShards(2, prop)
+	aDom, aEng := group.AddDomainAt("a", 0)
+	bDom, bEng := group.AddDomainAt("b", 1)
+	f := NewFabric(aEng, prop)
+	f.Shard(group, aDom)
+	a, err := f.AddHost("a", 10e9, StackCost{PerMessage: sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AddHost("b", 10e9, StackCost{PerMessage: sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.PlaceHost(b, bDom, bEng)
+
+	var arrived, replied sim.Time
+	f.Send(a, b, 1024, func() {
+		arrived = bEng.Now()
+		f.Send(b, a, 1024, func() { replied = aEng.Now() })
+	})
+	group.Run()
+
+	oneWay := a.Stack.Cost(1024) + a.NIC.WireTime(1024) + prop + b.Stack.Cost(1024)
+	if got := arrived.Sub(sim.Time(0)); got != oneWay {
+		t.Errorf("one-way arrival %v, want %v", got, oneWay)
+	}
+	if got, want := replied.Sub(sim.Time(0)), f.RTT(a, b, 1024, 1024); got != want {
+		t.Errorf("round trip %v, want %v", got, want)
+	}
+	if group.Posted() != 2 {
+		t.Errorf("cross-shard messages %d, want 2 (one each way)", group.Posted())
+	}
+}
+
+// TestFabricSplitSameDomainStaysLocal checks that traffic between hosts
+// sharing a domain never crosses the shard barrier.
+func TestFabricSplitSameDomainStaysLocal(t *testing.T) {
+	const prop = 2 * sim.Microsecond
+	group := sim.NewShards(2, prop)
+	aDom, aEng := group.AddDomainAt("a", 0)
+	f := NewFabric(aEng, prop)
+	f.Shard(group, aDom)
+	a, _ := f.AddHost("a", 10e9, SoftwareStack)
+	b, _ := f.AddHost("b", 10e9, SoftwareStack)
+	done := false
+	f.Send(a, b, 4096, func() { done = true })
+	group.Run()
+	if !done {
+		t.Fatal("same-domain message never arrived")
+	}
+	if group.Posted() != 0 {
+		t.Errorf("same-domain traffic posted %d cross-shard messages", group.Posted())
+	}
+}

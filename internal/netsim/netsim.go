@@ -115,6 +115,9 @@ type Host struct {
 	NIC   *NIC
 	Stack StackCost
 	eng   *sim.Engine
+	// dom is the topology domain on a sharded fabric (see Fabric.Shard);
+	// all of this host's state lives on the shard that domain is pinned to.
+	dom sim.DomainID
 
 	// workers are the stack processors' next-free times; multi-core hosts
 	// run several protocol workers (irq/softirq spreading), single-engine
@@ -165,6 +168,14 @@ type Fabric struct {
 	// layer (internal/faults) installs loss, flap and partition models
 	// here; the healthy path pays one nil check.
 	faultHook func(src, dst *Host, n int) bool
+	// group, when set (Shard), partitions the fabric's hosts over topology
+	// domains of a sharded engine group: a message between hosts in
+	// different domains is handed to the destination shard via PostAt at
+	// its NIC-arrival instant. The propagation delay must be at least the
+	// group's conservative lookahead for that to be legal.
+	group *sim.Shards
+	// defaultDom is the domain hosts belong to unless PlaceHost moves them.
+	defaultDom sim.DomainID
 }
 
 // NewFabric returns a fabric with the given one-way propagation delay.
@@ -177,10 +188,34 @@ func (f *Fabric) AddHost(name string, bitsPerSec float64, stack StackCost) (*Hos
 	if _, dup := f.hosts[name]; dup {
 		return nil, fmt.Errorf("netsim: duplicate host %q", name)
 	}
-	h := &Host{Name: name, NIC: NewNIC(f.eng, bitsPerSec), Stack: stack, eng: f.eng}
+	h := &Host{Name: name, NIC: NewNIC(f.eng, bitsPerSec), Stack: stack, eng: f.eng, dom: f.defaultDom}
 	h.SetStackWorkers(1)
 	f.hosts[name] = h
 	return h, nil
+}
+
+// Shard attaches the fabric to a sharded engine group. Every host —
+// already added or added later — defaults to domain dom on the fabric's
+// engine; PlaceHost pins individual hosts to other domains. Call during
+// single-threaded setup, before the group runs. The fabric's propagation
+// delay must be >= the group's lookahead, or cross-domain deliveries
+// would violate the conservative bound and panic at runtime.
+func (f *Fabric) Shard(group *sim.Shards, dom sim.DomainID) {
+	f.group = group
+	f.defaultDom = dom
+	for _, h := range f.hosts {
+		h.dom = dom
+	}
+}
+
+// PlaceHost pins a host to topology domain dom, whose state lives on eng
+// (the engine of the shard the domain is registered on). Setup-time only:
+// moving a host once events are in flight would tear its NIC and stack
+// state across shards.
+func (f *Fabric) PlaceHost(h *Host, dom sim.DomainID, eng *sim.Engine) {
+	h.dom = dom
+	h.eng = eng
+	h.NIC.eng = eng
 }
 
 // Host returns the named host, or nil.
@@ -196,10 +231,10 @@ func (f *Fabric) Propagation() sim.Duration { return f.propagation }
 // A message from a host to itself (co-located daemons) skips the wire and
 // propagation and pays only the two stack costs.
 func (f *Fabric) Send(src, dst *Host, n int, onArrive func()) {
-	now := f.eng.Now()
+	now := src.eng.Now()
 	if src == dst {
 		done := src.reserveStack(now, src.Stack.Cost(n)+dst.Stack.Cost(n))
-		f.eng.At(done, onArrive)
+		src.eng.At(done, onArrive)
 		return
 	}
 	txReady := src.reserveStack(now, src.Stack.Cost(n))
@@ -212,8 +247,20 @@ func (f *Fabric) Send(src, dst *Host, n int, onArrive func()) {
 		return
 	}
 	atNIC := depart.Add(f.propagation)
+	if f.group != nil && src.dom != dst.dom {
+		// Cross-domain: the receiver's stack and timer state live on
+		// another shard, so hand the arrival to it at the NIC instant.
+		// Propagation >= lookahead makes the post legal, and the group's
+		// canonical (time, domain, sequence) merge keeps delivery order —
+		// and therefore every digest — independent of shard scheduling.
+		f.group.PostAt(src.dom, dst.dom, atNIC, func() {
+			arrive := dst.reserveStack(dst.eng.Now(), dst.Stack.Cost(n))
+			dst.eng.At(arrive, onArrive)
+		})
+		return
+	}
 	arrive := dst.reserveStack(atNIC, dst.Stack.Cost(n))
-	f.eng.At(arrive, onArrive)
+	dst.eng.At(arrive, onArrive)
 }
 
 // SetFaultHook installs (or, with nil, removes) the per-message fault
@@ -224,9 +271,15 @@ func (f *Fabric) SetFaultHook(hook func(src, dst *Host, n int) bool) {
 }
 
 // SendWait is the Proc-blocking form of Send: it returns once the message
-// has been processed by the receiver.
+// has been processed by the receiver. It is a same-domain primitive: on a
+// sharded fabric the arrival callback runs on the receiver's shard, where
+// completing the sender's completion would race, so cross-domain callers
+// must use Send with an explicit arrival-driven protocol instead.
 func (f *Fabric) SendWait(p *sim.Proc, src, dst *Host, n int) {
-	done := f.eng.NewCompletion()
+	if f.group != nil && src.dom != dst.dom {
+		panic(fmt.Sprintf("netsim: SendWait %s -> %s crosses topology domains", src.Name, dst.Name))
+	}
+	done := src.eng.NewCompletion()
 	f.Send(src, dst, n, func() { done.Complete(nil, nil) })
 	p.Await(done)
 }

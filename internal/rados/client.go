@@ -55,6 +55,16 @@ type Client struct {
 	Functional bool
 	// Retry, when non-nil, arms deadlines, retries and read failover.
 	Retry *RetryPolicy
+
+	// Split routes replicated I/O through the arrival-driven split-domain
+	// protocol: the client host and the OSD nodes live in different
+	// topology domains of a sharded engine group, so no completion or
+	// queue state may be touched across the boundary. Erasure pools,
+	// retries and fault injection are unsupported in this mode.
+	Split bool
+	// Eng is the engine the client's procs and completions live on; nil
+	// means the cluster's engine (the single-domain default).
+	Eng *sim.Engine
 }
 
 // NewClient attaches a client host to the cluster's fabric.
@@ -74,6 +84,14 @@ func NewClient(c *Cluster, name string, bitsPerSec float64, stack netsim.StackCo
 
 func (cl *Client) fabric() *netsim.Fabric { return cl.Cluster.Fabric }
 
+// eng returns the engine the client's completions live on.
+func (cl *Client) eng() *sim.Engine {
+	if cl.Eng != nil {
+		return cl.Eng
+	}
+	return cl.Cluster.Eng
+}
+
 // shardKey names the stored shard object for an EC stripe write.
 func shardKey(obj string, off, rank int) string {
 	return ShardKey(obj, off, rank)
@@ -87,6 +105,12 @@ func (cl *Client) Write(p *sim.Proc, pool *Pool, obj string, off int, data []byt
 
 // WriteOpts is Write with per-request service hints.
 func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
+	if cl.Split {
+		if pool.Kind == ECPool {
+			return fmt.Errorf("rados: erasure pools are not supported on a split-domain client")
+		}
+		return cl.writeReplicatedSplit(p, pool, obj, off, data, opts)
+	}
 	if cl.Retry == nil {
 		if pool.Kind == ECPool {
 			return cl.writeEC(p, pool, obj, off, data, opts)
@@ -197,6 +221,112 @@ func (cl *Client) writeReplicated(p *sim.Proc, pool *Pool, obj string, off int, 
 	return firstErr
 }
 
+// writeReplicatedSplit is the replicated write on a split-domain
+// deployment. Every piece of OSD-side work runs inside a fabric arrival
+// on the OSD shard; follower acks are counted at the primary rather than
+// awaited as client-side completions, and the client observes exactly one
+// completion, completed by the final primary→client ack arriving back on
+// its own shard. Fault injection is rejected in split mode, so the acting
+// set is taken as healthy (no up/down filtering — reading OSD state from
+// the host shard would cross the domain boundary).
+func (cl *Client) writeReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off int, data []byte, opts ReqOpts) error {
+	c := cl.Cluster
+	acting, err := c.ActingSetUncached(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return err
+	}
+	members := acting[:0]
+	for _, o := range acting {
+		if o != crush.ItemNone {
+			members = append(members, o)
+		}
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("rados: pg for %q has no placed replicas", obj)
+	}
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	primary := members[0]
+	pNode := c.NodeOf(primary)
+	fab := cl.fabric()
+	done := cl.eng().NewCompletion()
+	fab.Send(cl.Host, pNode, HdrBytes+len(data), func() {
+		// OSD-shard context from here on.
+		remaining := len(members)
+		var firstErr error
+		ackOne := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if remaining--; remaining == 0 {
+				e := firstErr
+				fab.Send(pNode, cl.Host, HdrBytes, func() {
+					done.Complete(nil, e)
+				})
+			}
+		}
+		c.OSDs[primary].SubmitOpts(opts, OpWrite, obj, off, data, 0, func(r Result) {
+			ackOne(r.Err)
+		})
+		for _, o := range members[1:] {
+			o := o
+			oNode := c.NodeOf(o)
+			fab.Send(pNode, oNode, HdrBytes+len(data), func() {
+				c.OSDs[o].SubmitOpts(opts, OpWrite, obj, off, data, 0, func(r Result) {
+					fab.Send(oNode, pNode, HdrBytes, func() { ackOne(r.Err) })
+				})
+			})
+		}
+	})
+	_, err = p.Await(done)
+	return err
+}
+
+// readReplicatedSplit is the primary read on a split-domain deployment:
+// arrival-driven like writeReplicatedSplit, with the payload handed back
+// to the host shard inside the response message.
+func (cl *Client) readReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	c := cl.Cluster
+	acting, err := c.ActingSetUncached(pool, c.PGOf(pool, obj))
+	if err != nil {
+		return nil, err
+	}
+	primary := crush.ItemNone
+	for _, o := range acting {
+		if o != crush.ItemNone {
+			primary = o
+			break
+		}
+	}
+	if primary == crush.ItemNone {
+		return nil, fmt.Errorf("rados: pg for %q has no placed replicas", obj)
+	}
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	pNode := c.NodeOf(primary)
+	fab := cl.fabric()
+	done := cl.eng().NewCompletion()
+	fab.Send(cl.Host, pNode, HdrBytes, func() {
+		c.OSDs[primary].SubmitOpts(opts, OpRead, obj, off, nil, n, func(r Result) {
+			if r.Err != nil {
+				rerr := r.Err
+				fab.Send(pNode, cl.Host, HdrBytes, func() { done.Complete(nil, rerr) })
+				return
+			}
+			data := r.Data
+			fab.Send(pNode, cl.Host, HdrBytes+n, func() { done.Complete(data, nil) })
+		})
+	})
+	v, err := p.Await(done)
+	if err != nil {
+		return nil, err
+	}
+	data, _ := v.([]byte)
+	return data, nil
+}
+
 // Read returns n bytes at (obj, off).
 func (cl *Client) Read(p *sim.Proc, pool *Pool, obj string, off, n int) ([]byte, error) {
 	return cl.ReadOpts(p, pool, obj, off, n, ReqOpts{})
@@ -204,6 +334,12 @@ func (cl *Client) Read(p *sim.Proc, pool *Pool, obj string, off, n int) ([]byte,
 
 // ReadOpts is Read with per-request service hints.
 func (cl *Client) ReadOpts(p *sim.Proc, pool *Pool, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	if cl.Split {
+		if pool.Kind == ECPool {
+			return nil, fmt.Errorf("rados: erasure pools are not supported on a split-domain client")
+		}
+		return cl.readReplicatedSplit(p, pool, obj, off, n, opts)
+	}
 	if cl.Retry == nil {
 		if pool.Kind == ECPool {
 			return cl.readEC(p, pool, obj, off, n, opts)

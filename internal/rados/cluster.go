@@ -287,6 +287,19 @@ func (c *Cluster) ActingSet(pool *Pool, pg uint32) ([]int, error) {
 	return act, nil
 }
 
+// ActingSetUncached computes a PG's placement without touching the shared
+// placement cache or its hit counters. Split-domain clients call it from
+// the host shard, where mutating cluster-owned state would race with the
+// OSD shard; it allocates a fresh slice per call, so the result is the
+// caller's to keep.
+func (c *Cluster) ActingSetUncached(pool *Pool, pg uint32) ([]int, error) {
+	var rw []uint32
+	if c.monitor != nil {
+		rw = c.monitor.reweight
+	}
+	return c.Map.Select(pool.rule, crush.Hash2(pg, uint32(pool.ID)), pool.Width(), rw)
+}
+
 // syncPlacement catches CRUSH topology edits made directly on c.Map (bucket
 // membership, weights, rules) by comparing generations, flushing the cache
 // and advancing the epoch when one happened.
