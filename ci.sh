@@ -61,6 +61,24 @@ echo "== split-domain testbed smoke (race, -shards 2) =="
 go test -race -count=1 -run 'TestSplitDomain|TestFabricSplit' \
     ./internal/core/ ./internal/netsim/
 
+# Per-I/O span tracing: the trace sweep fans traced cells across the
+# runner's workers and, on split-domain testbeds, two shard workers feed
+# one sink set — race the package plus the determinism/perturbation gates
+# explicitly. TestTracingZeroPerturbation is the zero-cost-off contract's
+# strong form (full-rate tracing leaves every statistic bit-identical);
+# the golden-digest gate above already pins the tracing-off bytes.
+echo "== trace subsystem (race: package + sweep determinism + zero perturbation) =="
+go test -race -count=1 ./internal/trace/
+go test -race -count=1 -run 'TestTraceSweep|TestTracingZeroPerturbation|TestTraceFileRoundTrip|TestFamilyProbe' \
+    ./internal/experiments/
+go test -race -count=1 -run 'TestStageProfile' ./internal/core/
+
+# Fuzz seed corpus for the trace encoder: arbitrary span names, IDs and
+# (possibly negative) times must encode to valid JSON that round-trips
+# decode/re-encode idempotently.
+echo "== trace encoder fuzz seeds =="
+go test -run 'Fuzz' ./internal/trace/
+
 # Fuzz seed corpus for the extent index: random overlapping insert/lookup
 # sequences cross-checked against a flat shadow map, as plain tests.
 echo "== lsvd extent-index fuzz seeds =="
@@ -97,6 +115,13 @@ if [ "${1:-}" != "-short" ]; then
     # and the zero acknowledged-write-loss crash contract.
     echo "== cache tier report (BENCH_pr7.json) =="
     go run ./cmd/delibabench -quick -cachebench BENCH_pr7.json
+
+    # Trace smoke: emit the traced sweep and validate it against the
+    # Chrome/Perfetto trace_event schema with the offline tool.
+    echo "== trace smoke (-trace + dfxtool trace validate) =="
+    go run ./cmd/delibabench -quick -trace TRACE_pr8.json
+    go run ./cmd/dfxtool trace validate TRACE_pr8.json
+    go run ./cmd/dfxtool trace summary TRACE_pr8.json
 fi
 
 echo "CI OK"

@@ -9,6 +9,7 @@
 //	delibabench -json out.json
 //	delibabench -stack deliba-k-hw
 //	delibabench -stack iouring,dmq-bypass,qdma,hls-crush,card-rtl,ec
+//	delibabench -quick -trace trace.json [-tracesample 8]
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu faults scale cache
@@ -44,6 +45,12 @@
 // profiles, and erasure-kernel micro-benchmarks) to the given path instead
 // of printing tables.
 //
+// -trace runs the per-I/O span-tracing sweep (healthy Fig. 3 cells sampled
+// every -tracesample'th op, fault cells traced exhaustively) and writes one
+// Chrome/Perfetto-loadable trace_event JSON file with per-cell tail
+// exemplars and critical-path attribution. The file is byte-identical at
+// any -parallel/-shards setting. Inspect it with `dfxtool trace`.
+//
 // -stack assembles one composition from a declarative spec — a named
 // generation or a comma-separated layer list (see core.ParseStackSpec) —
 // runs a short mixed workload on it, and prints throughput plus the
@@ -72,10 +79,20 @@ func main() {
 	scaleBench := flag.String("scalebench", "", "run the city-scale sharding benchmark and write its JSON report to this path")
 	cacheBench := flag.String("cachebench", "", "run the write-back cache tier benchmark and write its JSON report to this path")
 	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
+	tracePath := flag.String("trace", "", "run the per-I/O trace sweep and write a Perfetto trace_event file to this path")
+	traceSample := flag.Int("tracesample", experiments.DefaultTraceSample, "trace every Nth op on healthy cells (fault cells always trace every op)")
 	flag.Parse()
 
 	experiments.SetParallelism(*par)
 	experiments.SetShards(*shards)
+
+	if *tracePath != "" {
+		if err := runTrace(*tracePath, *traceSample, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scaleBench != "" {
 		if err := runScaleBench(*scaleBench, *quick); err != nil {

@@ -29,6 +29,10 @@ type benchReport struct {
 	// Scale is the quick city-scale scenario at 1 and 8 engine shards, with
 	// per-shard utilization — digest equality across the two is asserted.
 	Scale []scaleRunReport `json:"scale"`
+	// Trace is the quick trace-sweep summary: per-cell sampling counts and
+	// duration-weighted critical-path attribution (the -trace artifact in
+	// digest form).
+	Trace []traceCellReport `json:"trace"`
 }
 
 type familyReport struct {
@@ -38,6 +42,19 @@ type familyReport struct {
 	ParallelMs    float64 `json:"parallel_ms"`
 	Speedup       float64 `json:"speedup"`
 	DigestMatches bool    `json:"digest_matches"`
+	// Stages is the family's representative-cell stage-latency breakdown
+	// (p50/p99/p999/max per pipeline stage); Resilience its client-side
+	// fault-handling counters. Families without an I/O path probe empty.
+	Stages     []experiments.StageSummary `json:"stages,omitempty"`
+	Resilience resilienceReport           `json:"resilience"`
+}
+
+// resilienceReport mirrors metrics.Resilience with stable JSON names.
+type resilienceReport struct {
+	Retries          uint64 `json:"retries"`
+	Failovers        uint64 `json:"failovers"`
+	DegradedReads    uint64 `json:"degraded_reads"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 }
 
 // stackReport carries one named composition's stage-latency profile from
@@ -53,7 +70,10 @@ type stageReport struct {
 	Stage  string  `json:"stage"`
 	Ops    int     `json:"ops"`
 	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // stackReports profiles each of the paper's five stacks through the layer
@@ -72,7 +92,10 @@ func stackReports() ([]stackReport, error) {
 				Stage:  stage,
 				Ops:    int(h.Count()),
 				MeanUs: float64(h.Mean()) / 1e3,
+				P50Us:  float64(h.Median()) / 1e3,
 				P99Us:  float64(h.Percentile(99)) / 1e3,
+				P999Us: float64(h.Percentile(99.9)) / 1e3,
+				MaxUs:  float64(h.Max()) / 1e3,
 			})
 		}
 		out = append(out, sr)
@@ -168,6 +191,17 @@ func writeJSONReport(path string) error {
 			Speedup:       float64(serial.elapsed) / float64(parallel.elapsed),
 			DigestMatches: serial.digest == parallel.digest,
 		}
+		probe, err := experiments.FamilyProbe(cfg, fam.name)
+		if err != nil {
+			return fmt.Errorf("json report: %s probe: %w", fam.name, err)
+		}
+		fr.Stages = probe.Stages
+		fr.Resilience = resilienceReport{
+			Retries:          probe.Resilience.Retries,
+			Failovers:        probe.Resilience.Failovers,
+			DegradedReads:    probe.Resilience.DegradedReads,
+			DeadlineExceeded: probe.Resilience.DeadlineExceeded,
+		}
 		rep.Families = append(rep.Families, fr)
 		if !fr.DigestMatches {
 			return fmt.Errorf("json report: %s serial digest %016x != parallel %016x",
@@ -184,6 +218,11 @@ func writeJSONReport(path string) error {
 		return fmt.Errorf("json report: %w", err)
 	}
 	rep.Scale = scale
+	traceCells, err := traceCellReports(cfg)
+	if err != nil {
+		return fmt.Errorf("json report: %w", err)
+	}
+	rep.Trace = traceCells
 	rep.Kernels = append(rep.Kernels, benchEncode(), benchReconstruct(), benchMulAdd())
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

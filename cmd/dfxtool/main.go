@@ -3,6 +3,15 @@
 // three reconfigurable modules, their resource usage, partial-bitstream
 // sizes and MCAP load times — the software analogue of Vivado's DFX
 // Configuration Analysis plus pr_verify.
+//
+// The `trace` subcommand inspects the per-I/O span trace files written by
+// `delibabench -trace`:
+//
+//	dfxtool trace summary  <file>           per-cell sampling + critical path
+//	dfxtool trace top      [-n 10] <file>   slowest exemplars across cells
+//	dfxtool trace filter   [-cell s] [-trace id] [-o out] <file>
+//	dfxtool trace diff     <old> <new>      per-cell critical-path deltas
+//	dfxtool trace validate <file>           trace_event schema check
 package main
 
 import (
@@ -18,6 +27,15 @@ import (
 )
 
 func main() {
+	// Argv dispatch for the trace subcommand has to happen before the DFX
+	// flags are parsed.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTraceCmd(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	verify := flag.Bool("verify", true, "run pr_verify across all configurations")
 	exercise := flag.Bool("exercise", false, "simulate a live RM swap sequence")
 	flag.Parse()

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file is the `dfxtool trace` subcommand: offline inspection of the
+// Perfetto trace files delibabench -trace emits.
+//
+//	dfxtool trace summary  <file>             per-cell sampling + critical path
+//	dfxtool trace top      [-n 10] <file>     slowest exemplars across cells
+//	dfxtool trace filter   [-cell s] [-trace id] [-o out] <file>
+//	dfxtool trace diff     <old> <new>        per-cell critical-path deltas
+//	dfxtool trace validate <file>             trace_event schema + summary check
+
+func runTraceCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("trace: need a subcommand: summary, top, filter, diff or validate")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return traceSummary(rest)
+	case "top":
+		return traceTop(rest)
+	case "filter":
+		return traceFilter(rest)
+	case "diff":
+		return traceDiff(rest)
+	case "validate":
+		return traceValidate(rest)
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q (want summary, top, filter, diff or validate)", cmd)
+	}
+}
+
+// readTraceFile opens and decodes one trace file.
+func readTraceFile(path string) (*trace.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadFile(f)
+}
+
+// pathLine renders a critical path as "name share%, ..." keeping the top n
+// rows.
+func pathLine(ps []trace.PathShare, n int) string {
+	var parts []string
+	for i, p := range ps {
+		if i == n {
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", p.Name, p.Share*100))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func traceSummary(args []string) error {
+	fs := flag.NewFlagSet("trace summary", flag.ContinueOnError)
+	n := fs.Int("n", 3, "critical-path rows to show per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace summary: need exactly one file")
+	}
+	f, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("trace summary ("+f.Summary.Schema+")",
+		"cell", "ops", "sampled", "spans", "exemplars", "critical path")
+	for _, c := range f.Cells {
+		t.AddRow(c.Cell, c.Ops, c.Sampled, len(c.Spans), len(c.Exemplars), pathLine(c.CritPath, *n))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func traceTop(args []string) error {
+	fs := flag.NewFlagSet("trace top", flag.ContinueOnError)
+	n := fs.Int("n", 10, "exemplars to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace top: need exactly one file")
+	}
+	f, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	type row struct {
+		cell string
+		ex   trace.Exemplar
+	}
+	var rows []row
+	for _, c := range f.Cells {
+		for _, ex := range c.Exemplars {
+			rows = append(rows, row{c.Cell, ex})
+		}
+	}
+	// Slowest first; ties break on trace id so output is deterministic.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ex.Dur != rows[j].ex.Dur {
+			return rows[i].ex.Dur > rows[j].ex.Dur
+		}
+		return rows[i].ex.Trace < rows[j].ex.Trace
+	})
+	if len(rows) > *n {
+		rows = rows[:*n]
+	}
+	t := metrics.NewTable("slowest traced ops",
+		"cell", "trace", "latency", "cause", "critical path")
+	for _, r := range rows {
+		t.AddRow(r.cell, fmt.Sprintf("%016x", r.ex.Trace), r.ex.Dur.String(),
+			r.ex.Cause, pathLine(r.ex.Path, 3))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func traceFilter(args []string) error {
+	fs := flag.NewFlagSet("trace filter", flag.ContinueOnError)
+	cell := fs.String("cell", "", "keep cells whose label contains this substring")
+	traceID := fs.String("trace", "", "keep only spans of this 16-hex-digit trace id")
+	out := fs.String("o", "", "write the filtered trace file here (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace filter: need exactly one file")
+	}
+	f, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var want uint64
+	if *traceID != "" {
+		if _, err := fmt.Sscanf(*traceID, "%x", &want); err != nil {
+			return fmt.Errorf("trace filter: bad -trace id %q: %w", *traceID, err)
+		}
+	}
+	var kept []*trace.Result
+	for _, c := range f.Cells {
+		if *cell != "" && !strings.Contains(c.Cell, *cell) {
+			continue
+		}
+		if want != 0 {
+			fc := &trace.Result{Cell: c.Cell, Ops: c.Ops, Sampled: c.Sampled, CritPath: c.CritPath}
+			for _, sp := range c.Spans {
+				if sp.Trace == want {
+					fc.Spans = append(fc.Spans, sp)
+				}
+			}
+			for _, ex := range c.Exemplars {
+				if ex.Trace == want {
+					fc.Exemplars = append(fc.Exemplars, ex)
+				}
+			}
+			if len(fc.Spans) == 0 {
+				continue
+			}
+			c = fc
+		}
+		kept = append(kept, c)
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("trace filter: no cells match")
+	}
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if err := trace.WriteFile(w, kept); err != nil {
+		return err
+	}
+	if *out != "" {
+		var spans int
+		for _, c := range kept {
+			spans += len(c.Spans)
+		}
+		fmt.Printf("dfxtool: wrote %s (%d cells, %d spans)\n", *out, len(kept), spans)
+	}
+	return nil
+}
+
+func traceDiff(args []string) error {
+	fs := flag.NewFlagSet("trace diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("trace diff: need exactly two files (old new)")
+	}
+	oldF, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := readTraceFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldCells := map[string]*trace.Result{}
+	for _, c := range oldF.Cells {
+		oldCells[c.Cell] = c
+	}
+	t := metrics.NewTable("critical-path diff (old -> new)",
+		"cell", "stage", "old share", "new share", "delta")
+	for _, nc := range newF.Cells {
+		oc, ok := oldCells[nc.Cell]
+		if !ok {
+			t.AddRow(nc.Cell, "(cell only in new file)", "-", "-", "-")
+			continue
+		}
+		oldShare := map[string]float64{}
+		for _, ps := range oc.CritPath {
+			oldShare[ps.Name] = ps.Share
+		}
+		seen := map[string]bool{}
+		for _, ps := range nc.CritPath {
+			seen[ps.Name] = true
+			t.AddRow(nc.Cell, ps.Name,
+				fmt.Sprintf("%.1f%%", oldShare[ps.Name]*100),
+				fmt.Sprintf("%.1f%%", ps.Share*100),
+				fmt.Sprintf("%+.1f%%", (ps.Share-oldShare[ps.Name])*100))
+		}
+		for _, ps := range oc.CritPath {
+			if !seen[ps.Name] {
+				t.AddRow(nc.Cell, ps.Name,
+					fmt.Sprintf("%.1f%%", ps.Share*100), "0.0%",
+					fmt.Sprintf("%+.1f%%", -ps.Share*100))
+			}
+		}
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func traceValidate(args []string) error {
+	fs := flag.NewFlagSet("trace validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace validate: need exactly one file")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.ValidateTraceEvents(f); err != nil {
+		return err
+	}
+	tf, err := readTraceFile(path)
+	if err != nil {
+		return err
+	}
+	var spans int
+	for _, c := range tf.Cells {
+		spans += len(c.Spans)
+	}
+	fmt.Printf("dfxtool: %s valid (%s, %d cells, %d spans)\n", path, tf.Summary.Schema, len(tf.Cells), spans)
+	return nil
+}

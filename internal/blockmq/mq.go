@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Driver is the device side of the MQ layer (UIFD, a null device, a legacy
@@ -57,7 +58,13 @@ type MQ struct {
 	// waiting holds requests that have a reserved place but no tag yet,
 	// per hctx, FIFO.
 	waiting [][]*Request
+	// trace receives one "blk-mq" span per sampled request, opened at
+	// submit and closed at EndIO (nil = tracing off).
+	trace *trace.Sink
 }
+
+// SetTraceSink wires the MQ's span sink; pass nil to disable.
+func (mq *MQ) SetTraceSink(s *trace.Sink) { mq.trace = s }
 
 // New builds an MQ instance over the driver.
 func New(eng *sim.Engine, cfg Config, driver Driver) (*MQ, error) {
@@ -117,7 +124,22 @@ func (mq *MQ) Submit(p *sim.Proc, op OpType, off int64, length int, cpu int, don
 // the layer's CPU cost is applied as scheduling delay instead of a proc
 // sleep. flags carries request hints.
 func (mq *MQ) SubmitAsync(op OpType, off int64, length int, flags uint32, cpu int, done func(err error)) *Request {
+	return mq.SubmitAsyncTraced(op, off, length, flags, cpu, trace.Ref{}, done)
+}
+
+// SubmitAsyncTraced is SubmitAsync carrying a per-I/O trace context. The
+// context is a parameter rather than a field the caller sets afterwards
+// because the bypass fast path can reach the driver synchronously inside
+// this call — the request must already carry it when place() runs.
+func (mq *MQ) SubmitAsyncTraced(op OpType, off int64, length int, flags uint32, cpu int, tr trace.Ref, done func(err error)) *Request {
 	req := mq.newRequest(op, off, length, flags, cpu, done)
+	req.Trace = tr
+	if mq.trace != nil && tr.Sampled() {
+		// Open the blk-mq span now and re-parent the carried context under
+		// it, so driver/card spans nest inside the block layer's.
+		req.traceH = mq.trace.Begin(tr, "blk-mq")
+		req.Trace = req.traceH.Ref()
+	}
 	if cost := mq.pathCost(); cost > 0 {
 		mq.eng.Schedule(cost, func() { mq.place(req) })
 	} else {

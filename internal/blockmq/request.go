@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // OpType is the request direction.
@@ -54,8 +55,14 @@ type Request struct {
 	CPU int
 	// Tag is the hardware tag, assigned at dispatch (-1 before).
 	Tag int
+	// Trace is the per-I/O trace context handed to the driver (re-parented
+	// under the blk-mq span when sampled). It must be set at submit time
+	// (via SubmitAsyncTraced) because the bypass fast path can issue to
+	// the driver synchronously, before the caller sees the request.
+	Trace trace.Ref
 
 	mq        *MQ
+	traceH    trace.H
 	hctx      int
 	submitted sim.Time
 	started   sim.Time
@@ -81,7 +88,19 @@ func (r *Request) EndIO(err error) {
 	}
 	r.mq = nil
 	mq.stats.Completed++
-	mq.latency.Record(mq.eng.Now().Sub(r.submitted))
+	now := mq.eng.Now()
+	mq.latency.Record(now.Sub(r.submitted))
+	// Close the blk-mq span: the queue-wait portion is submit-to-issue
+	// (tag wait + dispatch), the rest is device service time.
+	if r.traceH.On() {
+		wait := r.started.Sub(r.submitted)
+		if r.started == 0 {
+			wait = 0 // completed without ever issuing (error path)
+		}
+		r.traceH.SetWait(wait)
+		r.traceH.End()
+		r.traceH = trace.H{}
+	}
 	cbs := r.callbacks
 	r.callbacks = nil
 	for _, cb := range cbs {

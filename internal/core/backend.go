@@ -8,6 +8,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uifd"
 )
 
@@ -35,6 +36,8 @@ type cardBackend struct {
 	kernelScale float64
 	// prof optionally records stage latencies.
 	prof *StageProfile
+	// trace records card-side spans for sampled ops (nil = off).
+	trace *trace.Sink
 	// pipeNextFree serializes the card's fixed per-I/O pipeline stage.
 	pipeNextFree sim.Time
 }
@@ -76,13 +79,13 @@ func (cb *cardBackend) Process(req uifd.CardRequest, done func(err error)) {
 	if req.Flags&blockmq.FlagRandom != 0 {
 		pattern = Rand
 	}
-	cb.process(op, pattern, req.Off, req.Len, done)
+	cb.process(op, pattern, req.Off, req.Len, req.Trace, done)
 }
 
 // process runs the card pipeline for one block I/O. It is also called
 // directly by the DeLiBA-2 stack, which reaches the card via its legacy DMA
 // path instead of UIFD/QDMA.
-func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, done func(error)) {
+func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, tr trace.Ref, done func(error)) {
 	exts, err := cb.image.Extents(off, n)
 	if err != nil {
 		cb.eng.Schedule(0, func() { done(err) })
@@ -90,17 +93,33 @@ func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, don
 	}
 	sub := join(cb.eng, len(exts), done)
 	for _, e := range exts {
-		cb.processExtent(op, pattern, e, sub)
+		cb.processExtent(op, pattern, e, tr, sub)
 	}
 }
 
-func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, done func(error)) {
-	opts := rados.ReqOpts{Random: pattern == Rand}
+func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, tr trace.Ref, done func(error)) {
+	if cb.trace != nil && tr.Sampled() {
+		// The card-pipeline span contains placement, encode and fan-out;
+		// re-parent so those nest under it.
+		hp := cb.trace.Begin(tr, "card-pipeline")
+		tr = hp.Ref()
+		inner := done
+		done = func(err error) {
+			hp.End()
+			inner(err)
+		}
+	}
+	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
 	pg := cb.fan.Cluster.PGOf(cb.pool, e.Object)
 
 	// Stage ④: the placement layer's CRUSH kernel computes the placement
 	// on the card, returning its generation's kernel penalty.
+	var hsel trace.H
+	if cb.trace != nil && tr.Sampled() {
+		hsel = cb.trace.Begin(tr, "crush-select")
+	}
 	cb.place.Select(pg, cb.pool.Width(), func(extra sim.Duration, err error) {
+		hsel.End()
 		if err != nil {
 			done(err)
 			return
@@ -120,7 +139,12 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 				// fan-out over the card NIC (stage ⑥).
 				rs := cb.shell.RS
 				endEnc := cb.prof.span(StageEncode)
+				var henc trace.H
+				if cb.trace != nil && tr.Sampled() {
+					henc = cb.trace.Begin(tr, "rs-encode")
+				}
 				rs.Encode(e.Len, nil, func(err error) {
+					henc.End()
 					endEnc()
 					if err != nil {
 						done(err)
@@ -143,7 +167,15 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, d
 						return
 					}
 					// Degraded read: reconstruct on the card.
-					cb.shell.RS.Encode(e.Len, nil, func(err error) { done(err) })
+					var hrec trace.H
+					if cb.trace != nil && tr.Sampled() {
+						hrec = cb.trace.Begin(tr, "ec-reconstruct")
+						hrec.Link(trace.KindDegraded, 0)
+					}
+					cb.shell.RS.Encode(e.Len, nil, func(err error) {
+						hrec.End()
+						done(err)
+					})
 				})
 			default:
 				cb.fan.ReadReplicatedR(cb.pool, e.Object, e.Off, e.Len, opts,

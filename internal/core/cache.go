@@ -7,6 +7,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file wires the optional LSVD write-back cache tier (internal/lsvd)
@@ -25,16 +26,33 @@ type cacheTarget struct {
 	cache   *lsvd.Cache
 	mapCost sim.Duration
 	prof    *StageProfile
+	trace   *trace.Sink
 }
 
 func (t *cacheTarget) Submit(req iouring.Request, complete func(res int32)) {
 	endKernel := t.prof.span(StageKernel)
 	length := req.Len
+	tr := req.Trace
+	var hk trace.H
+	if t.trace != nil && tr.Sampled() {
+		// Kernel span covers map cost + cache residency; the cache span
+		// and any miss-fill descent nest under it.
+		hk = t.trace.Begin(tr, "kernel")
+		tr = hk.Ref()
+	}
 	t.eng.Schedule(t.mapCost, func() {
 		endCache := t.prof.span(StageCache)
+		ctr := tr
+		var hc trace.H
+		if t.trace != nil && tr.Sampled() {
+			hc = t.trace.Begin(tr, "lsvd-cache")
+			ctr = hc.Ref()
+		}
 		done := func(err error) {
 			endCache()
 			endKernel()
+			hc.End()
+			hk.End()
 			if err != nil {
 				complete(iouring.ResEIO)
 				return
@@ -42,9 +60,9 @@ func (t *cacheTarget) Submit(req iouring.Request, complete func(res int32)) {
 			complete(int32(length))
 		}
 		if req.Op == iouring.OpWrite {
-			t.cache.Write(req.Off, int(req.Len), done)
+			t.cache.WriteTraced(req.Off, int(req.Len), ctr, done)
 		} else {
-			t.cache.Read(req.Off, int(req.Len), done)
+			t.cache.ReadTraced(req.Off, int(req.Len), ctr, done)
 		}
 	})
 }
@@ -63,11 +81,18 @@ type cacheBackend struct {
 }
 
 func (b *cacheBackend) ReadMiss(off int64, n int, done func(error)) {
+	b.ReadMissTraced(off, n, trace.Ref{}, done)
+}
+
+// ReadMissTraced implements lsvd.TracedBackend: sampled miss fills carry
+// the caller's trace context down the inner data path.
+func (b *cacheBackend) ReadMissTraced(off int64, n int, tr trace.Ref, done func(error)) {
 	req := iouring.Request{
 		Op:      iouring.OpRead,
 		Off:     off,
 		Len:     uint32(n),
 		RWFlags: blockmq.FlagRandom,
+		Trace:   tr,
 	}
 	b.inner.Submit(req, func(res int32) {
 		done(errIO(res))
@@ -103,8 +128,9 @@ func (tb *Testbed) buildCacheTarget(s *pipelineStack, inner iouring.Target) (*ca
 	if err != nil {
 		return nil, err
 	}
+	cache.Trace = tb.traceHost
 	s.cache = cache
-	return &cacheTarget{eng: tb.Eng, cache: cache, mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile}, nil
+	return &cacheTarget{eng: tb.Eng, cache: cache, mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile, trace: tb.traceHost}, nil
 }
 
 // CacheOf returns the stack's LSVD cache tier, or nil for cache-none

@@ -6,6 +6,7 @@ import (
 	"repro/internal/crush"
 	"repro/internal/netsim"
 	"repro/internal/rados"
+	"repro/internal/trace"
 )
 
 // Fanout issues object operations from a client-side endpoint directly to
@@ -26,6 +27,9 @@ type Fanout struct {
 	// Res, when non-nil, arms the resilient entry points (the *R methods in
 	// resilience.go): deadlines, retries and read failover.
 	Res *Resilience
+	// Trace, when non-nil, records a per-target span (issue → ack) for
+	// sampled ops, so the critical path can name the slowest replica/shard.
+	Trace *trace.Sink
 
 	up       []int // scratch: up members of the current acting set
 	replFree []*replOp
@@ -75,6 +79,7 @@ type replTarget struct {
 	osd  int
 	node *netsim.Host
 	err  error
+	span trace.H
 
 	send     func()
 	onResult func(rados.Result)
@@ -87,14 +92,22 @@ func (op *replOp) target(i int) *replTarget {
 		t := &replTarget{op: op}
 		t.send = func() {
 			o := t.op
-			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpWrite, o.obj, o.off, zeros(o.n), 0, t.onResult)
+			sopts := o.opts
+			if t.span.On() {
+				sopts.Trace = t.span.Ref()
+			}
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(sopts, rados.OpWrite, o.obj, o.off, zeros(o.n), 0, t.onResult)
 		}
 		t.onResult = func(r rados.Result) {
 			t.err = r.Err
 			o := t.op
 			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes, t.ack)
 		}
-		t.ack = func() { t.op.finish(t.err) }
+		t.ack = func() {
+			t.span.End()
+			t.span = trace.H{}
+			t.op.finish(t.err)
+		}
 		op.targets = append(op.targets, t)
 	}
 	return op.targets[i]
@@ -158,6 +171,10 @@ func (f *Fanout) WriteReplicated(pool *rados.Pool, obj string, off, n int, opts 
 	for i, o := range up {
 		t := op.target(i)
 		t.osd, t.node, t.err = o, c.NodeOf(o), nil
+		t.span = trace.H{}
+		if f.Trace != nil && opts.Trace.Sampled() {
+			t.span = f.Trace.Begin(opts.Trace, "replica-write")
+		}
 		c.Fabric.Send(f.From, t.node, rados.HdrBytes+n, t.send)
 	}
 }
@@ -174,6 +191,7 @@ type readOp struct {
 	osd  int
 	node *netsim.Host
 	err  error
+	span trace.H
 	done func(error)
 
 	send     func()
@@ -190,13 +208,19 @@ func (f *Fanout) getRead() *readOp {
 	}
 	op := &readOp{f: f}
 	op.send = func() {
-		op.f.Cluster.OSDs[op.osd].SubmitOpts(op.opts, rados.OpRead, op.obj, op.off, nil, op.n, op.onResult)
+		sopts := op.opts
+		if op.span.On() {
+			sopts.Trace = op.span.Ref()
+		}
+		op.f.Cluster.OSDs[op.osd].SubmitOpts(sopts, rados.OpRead, op.obj, op.off, nil, op.n, op.onResult)
 	}
 	op.onResult = func(r rados.Result) {
 		op.err = r.Err
 		op.f.Cluster.Fabric.Send(op.node, op.f.From, rados.HdrBytes+op.n, op.ack)
 	}
 	op.ack = func() {
+		op.span.End()
+		op.span = trace.H{}
 		done, err := op.done, op.err
 		op.done, op.err, op.obj = nil, nil, ""
 		op.f.readFree = append(op.f.readFree, op)
@@ -221,6 +245,10 @@ func (f *Fanout) ReadReplicated(pool *rados.Pool, obj string, off, n int, opts r
 	op := f.getRead()
 	op.opts, op.obj, op.off, op.n = opts, obj, off, n
 	op.osd, op.node, op.err, op.done = primary, c.NodeOf(primary), nil, done
+	op.span = trace.H{}
+	if f.Trace != nil && opts.Trace.Sampled() {
+		op.span = f.Trace.Begin(opts.Trace, "replica-read")
+	}
 	c.Fabric.Send(f.From, op.node, rados.HdrBytes, op.send)
 }
 
@@ -247,6 +275,7 @@ type ecTarget struct {
 	key    string
 	keyBuf []byte
 	err    error
+	span   trace.H
 
 	send     func()
 	onResult func(rados.Result)
@@ -258,14 +287,22 @@ func (op *ecWriteOp) target(i int) *ecTarget {
 		t := &ecTarget{op: op}
 		t.send = func() {
 			o := t.op
-			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpWrite, t.key, 0, zeros(o.shardSize), 0, t.onResult)
+			sopts := o.opts
+			if t.span.On() {
+				sopts.Trace = t.span.Ref()
+			}
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(sopts, rados.OpWrite, t.key, 0, zeros(o.shardSize), 0, t.onResult)
 		}
 		t.onResult = func(r rados.Result) {
 			t.err = r.Err
 			o := t.op
 			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes, t.ack)
 		}
-		t.ack = func() { t.op.finish(t.err) }
+		t.ack = func() {
+			t.span.End()
+			t.span = trace.H{}
+			t.op.finish(t.err)
+		}
 		op.targets = append(op.targets, t)
 	}
 	return op.targets[i]
@@ -334,6 +371,10 @@ func (f *Fanout) WriteEC(pool *rados.Pool, obj string, off, n int, opts rados.Re
 		t.keyBuf = rados.AppendShardKey(t.keyBuf[:0], obj, off, rank)
 		t.key = string(t.keyBuf)
 		t.osd, t.node, t.err = o, c.NodeOf(o), nil
+		t.span = trace.H{}
+		if f.Trace != nil && opts.Trace.Sampled() {
+			t.span = f.Trace.Begin(opts.Trace, "ec-shard-write")
+		}
 		c.Fabric.Send(f.From, t.node, rados.HdrBytes+shardSize, t.send)
 	}
 }
@@ -359,6 +400,7 @@ type ecReadTarget struct {
 	key    string
 	keyBuf []byte
 	err    error
+	span   trace.H
 
 	send     func()
 	onResult func(rados.Result)
@@ -370,14 +412,22 @@ func (op *ecReadOp) target(i int) *ecReadTarget {
 		t := &ecReadTarget{op: op}
 		t.send = func() {
 			o := t.op
-			o.f.Cluster.OSDs[t.osd].SubmitOpts(o.opts, rados.OpRead, t.key, 0, nil, o.shardSize, t.onResult)
+			sopts := o.opts
+			if t.span.On() {
+				sopts.Trace = t.span.Ref()
+			}
+			o.f.Cluster.OSDs[t.osd].SubmitOpts(sopts, rados.OpRead, t.key, 0, nil, o.shardSize, t.onResult)
 		}
 		t.onResult = func(r rados.Result) {
 			t.err = r.Err
 			o := t.op
 			o.f.Cluster.Fabric.Send(t.node, o.f.From, rados.HdrBytes+o.shardSize, t.ack)
 		}
-		t.ack = func() { t.op.finish(t.err) }
+		t.ack = func() {
+			t.span.End()
+			t.span = trace.H{}
+			t.op.finish(t.err)
+		}
 		op.targets = append(op.targets, t)
 	}
 	return op.targets[i]
@@ -458,6 +508,10 @@ func (f *Fanout) ReadEC(pool *rados.Pool, obj string, off, n int, opts rados.Req
 		t := op.targets[i]
 		t.key = string(t.keyBuf)
 		t.node, t.err = c.NodeOf(t.osd), nil
+		t.span = trace.H{}
+		if f.Trace != nil && opts.Trace.Sampled() {
+			t.span = f.Trace.Begin(opts.Trace, "ec-shard-read")
+		}
 		c.Fabric.Send(f.From, t.node, rados.HdrBytes, t.send)
 	}
 }

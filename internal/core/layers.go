@@ -13,6 +13,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uifd"
 )
 
@@ -31,9 +32,10 @@ import (
 // creation-order sensitive.
 
 // HostAPI is how block I/O enters the stack: DeLiBA-K's io_uring ring set
-// or the DeLiBA-1/2 NBD daemon loop.
+// or the DeLiBA-1/2 NBD daemon loop. tr is the per-I/O trace context
+// (zero = unsampled) rooted by the stack before submission.
 type HostAPI interface {
-	Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error))
+	Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error))
 	Close()
 }
 
@@ -88,8 +90,8 @@ type FanoutLayer interface {
 // uringHost adapts the shared ringSet to the HostAPI boundary.
 type uringHost struct{ rs *ringSet }
 
-func (h *uringHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
-	h.rs.submit(op, pattern, off, n, cpu, done)
+func (h *uringHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
+	h.rs.submit(op, pattern, off, n, cpu, tr, done)
 }
 
 func (h *uringHost) Close() { h.rs.close() }
@@ -101,7 +103,7 @@ type nbdDatapath interface {
 	// hostCPU is extra daemon CPU charged with the NBD path cost in one
 	// fused Resource.Use (splitting it would change contention).
 	hostCPU(op OpType, n int) sim.Duration
-	run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error
+	run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error
 }
 
 // nbdHost is the single-threaded NBD/user-space daemon loop shared by
@@ -115,13 +117,13 @@ type nbdHost struct {
 	path     nbdDatapath
 }
 
-func (h *nbdHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+func (h *nbdHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
 	h.tb.Eng.Spawn(h.procName, func(p *sim.Proc) {
 		// The daemon is single-threaded, so its CPU time serializes
 		// across outstanding I/Os.
 		h.daemon.Use(p, 1, h.profile.PathCost(n)+h.path.hostCPU(op, n))
 		p.Sleep(h.tb.CM.NBDSocketRTT)
-		done(h.path.run(p, op, pattern, off, n))
+		done(h.path.run(p, op, pattern, off, n, tr))
 	})
 }
 
@@ -139,7 +141,7 @@ type legacyCardPath struct {
 
 func (dp *legacyCardPath) hostCPU(OpType, int) sim.Duration { return 0 }
 
-func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
+func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
 	// The transport span covers the full below-daemon round trip: H2C
 	// DMA, card residency, C2H DMA. Subtract the card stages to isolate
 	// the DMA path itself.
@@ -150,7 +152,7 @@ func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64
 	}
 	p.Sleep(dp.cm.LegacyDMACost + pcieTime(h2c))
 	err := blocking(p, func(cb func(error)) {
-		dp.backend.process(op, pattern, off, n, cb)
+		dp.backend.process(op, pattern, off, n, tr, cb)
 	})
 	c2h := rados.HdrBytes
 	if op == Read {
@@ -178,8 +180,8 @@ func (dp *clientPath) hostCPU(op OpType, _ int) sim.Duration {
 	return dp.cm.D2SWLibraryWrite
 }
 
-func (dp *clientPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
-	opts := rados.ReqOpts{Random: pattern == Rand}
+func (dp *clientPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
+	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
 	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
 		endFan := dp.prof.span(StageFanout)
 		var operr error
@@ -209,9 +211,9 @@ type d1Path struct {
 
 func (dp *d1Path) hostCPU(OpType, int) sim.Duration { return 0 }
 
-func (dp *d1Path) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int) error {
+func (dp *d1Path) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
 	cm := dp.tb.CM
-	opts := rados.ReqOpts{Random: pattern == Rand}
+	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
 	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
 		// The payload crosses to the card (the storage accelerators hash
 		// over the data) and back, since D1's network path is on the
@@ -410,6 +412,24 @@ type pipelineStack struct {
 func (s *pipelineStack) Name() string { return s.spec.Name }
 
 func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+	// Root the per-I/O trace here: every op (sampled or not) advances the
+	// deterministic submit sequence the sampling policy keys on.
+	var tr trace.Ref
+	if sink := s.tb.traceHost; sink != nil {
+		name := "io-read"
+		if op == Write {
+			name = "io-write"
+		}
+		h := sink.Root(name)
+		if h.On() {
+			tr = h.Ref()
+			inner := done
+			done = func(err error) {
+				h.End()
+				inner(err)
+			}
+		}
+	}
 	if prof := s.tb.Profile; prof != nil {
 		end := prof.span(StageHostAPI)
 		inner := done
@@ -418,7 +438,7 @@ func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu
 			inner(err)
 		}
 	}
-	s.host.Submit(op, pattern, off, n, cpu, done)
+	s.host.Submit(op, pattern, off, n, cpu, tr, done)
 }
 
 func (s *pipelineStack) ImageBytes() int64 { return s.image.Size }
@@ -531,7 +551,7 @@ func (tb *Testbed) buildCardSide(s *pipelineStack) (*cardBackend, error) {
 	} else {
 		s.placement = &rtlPlacement{shell: shell, prof: tb.Profile}
 	}
-	fan := &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res}
+	fan := &Fanout{Cluster: tb.Cluster, From: cardHost, Res: tb.Res, Trace: tb.traceHost}
 	s.fanout = &cardFanout{kind: s.spec.Fanout, fan: fan}
 	procCost := tb.CM.CardProcessing
 	if s.spec.Fanout == FanoutCardHLS {
@@ -552,6 +572,7 @@ func (tb *Testbed) buildCardSide(s *pipelineStack) (*cardBackend, error) {
 		procCost:    procCost,
 		kernelScale: kernelScale,
 		prof:        tb.Profile,
+		trace:       tb.traceHost,
 	}, nil
 }
 
@@ -592,8 +613,10 @@ func (tb *Testbed) buildURingCard(s *pipelineStack) error {
 		return err
 	}
 	s.block = &dmqBlock{kind: s.spec.Block, mq: mq}
+	mq.SetTraceSink(tb.traceHost)
 	var target iouring.Target = &dmqTarget{eng: tb.Eng, mq: mq, mapCost: tb.CM.DKRBDMapCost,
-		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile, bare: s.spec.Cache == CacheLSVD}
+		writeExtra: tb.CM.CardWriteOverhead, prof: tb.Profile, trace: tb.traceHost,
+		bare: s.spec.Cache == CacheLSVD}
 	if s.spec.Cache == CacheLSVD {
 		target, err = tb.buildCacheTarget(s, target)
 		if err != nil {
@@ -622,7 +645,8 @@ func (tb *Testbed) buildURingClient(s *pipelineStack) error {
 	s.placement = swPlacement{}
 	s.fanout = &clientFanout{client: client}
 	var target iouring.Target = &radosTarget{tb: tb, client: client, image: s.image, pool: s.pool,
-		mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile, bare: s.spec.Cache == CacheLSVD}
+		mapCost: tb.CM.DKRBDMapCost, prof: tb.Profile, trace: tb.traceHost,
+		bare: s.spec.Cache == CacheLSVD}
 	if s.spec.Cache == CacheLSVD {
 		target, err = tb.buildCacheTarget(s, target)
 		if err != nil {
@@ -672,7 +696,7 @@ func (tb *Testbed) buildNBDOffload(s *pipelineStack) error {
 	} else {
 		s.placement = &rtlPlacement{shell: shell, prof: tb.Profile}
 	}
-	fan := &Fanout{Cluster: tb.Cluster, From: hostNIC, Res: tb.Res}
+	fan := &Fanout{Cluster: tb.Cluster, From: hostNIC, Res: tb.Res, Trace: tb.traceHost}
 	s.fanout = &hostFanout{fan: fan}
 	s.block = noBlock{}
 	s.transport = legacyDMA{}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -15,7 +16,10 @@ import (
 // records each operation's time in the kernel path, the placement
 // accelerator, the erasure encoder, and the network fan-out.
 type StageProfile struct {
-	eng   *sim.Engine
+	eng *sim.Engine
+	// mu guards hists: on a split-domain testbed spans may record from
+	// more than one shard worker goroutine.
+	mu    sync.Mutex
 	hists map[string]*metrics.Histogram
 }
 
@@ -34,20 +38,46 @@ func (tb *Testbed) EnableProfiling() *StageProfile {
 }
 
 // span starts a stage measurement; invoke the returned func at stage end.
-// A nil receiver is a no-op, so call sites need no guards.
+// A nil receiver is a no-op, so call sites need no guards. Both endpoints
+// read the profile's own engine clock, so the span must open AND close on
+// events of that engine's domain; a span that closes after a cross-domain
+// hop must use spanAcross instead.
 func (sp *StageProfile) span(stage string) func() {
 	if sp == nil {
 		return func() {}
 	}
 	start := sp.eng.Now()
 	return func() {
-		h := sp.hists[stage]
-		if h == nil {
-			h = metrics.NewHistogram()
-			sp.hists[stage] = h
-		}
-		h.Record(sp.eng.Now().Sub(start))
+		sp.record(stage, sp.eng.Now().Sub(start))
 	}
+}
+
+// spanAcross opens a stage measurement on the domain the caller currently
+// executes on and lets it close on a *different* domain: the closer reads
+// the canonical time of the engine it executes under. Cross-domain
+// messages are posted at their canonical arrival time, so the receiving
+// engine's clock at closure IS the canonical arrival — reading the
+// opening domain's clock there would race with that domain's window
+// worker and observe a mid-window skewed time.
+func (sp *StageProfile) spanAcross(open *sim.Engine, stage string) func(close *sim.Engine) {
+	if sp == nil {
+		return func(*sim.Engine) {}
+	}
+	start := open.Now()
+	return func(close *sim.Engine) {
+		sp.record(stage, close.Now().Sub(start))
+	}
+}
+
+func (sp *StageProfile) record(stage string, d sim.Duration) {
+	sp.mu.Lock()
+	h := sp.hists[stage]
+	if h == nil {
+		h = metrics.NewHistogram()
+		sp.hists[stage] = h
+	}
+	h.Record(d)
+	sp.mu.Unlock()
 }
 
 // Stage returns the histogram for a stage (nil if never recorded).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -73,6 +74,84 @@ func TestStageProfileRecordsPipeline(t *testing.T) {
 	}
 	if prof.Stage(StageKernel).Mean() < prof.Stage(StageTransport).Mean() {
 		t.Fatal("kernel round trip smaller than the transport round trip")
+	}
+}
+
+// splitProfileFingerprint runs a mixed stream on a profiled split-domain
+// testbed and folds every stage histogram into a string.
+func splitProfileFingerprint(t *testing.T, seed uint64) (*StageProfile, string) {
+	t.Helper()
+	tb, err := NewTestbed(splitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := tb.EnableProfiling()
+	sp, err := ParseStackSpec("deliba-k-sw+cache-lsvd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := tb.BuildStack(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Spawn("split-profiled-io", func(p *sim.Proc) {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			op := Write
+			if rng.Intn(100) < 50 {
+				op = Read
+			}
+			off := int64(rng.Intn(256)) * 4096
+			if err := Do(p, stack, op, Rand, off, 4096, 0); err != nil {
+				t.Errorf("op %d: %v", i, err)
+				return
+			}
+		}
+	})
+	tb.Eng.Run()
+	stack.Close()
+	tb.Eng.Run() // drain the cache flusher's shutdown
+	var b strings.Builder
+	for _, stage := range prof.Stages() {
+		h := prof.Stage(stage)
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%d\n", stage, h.Count(), int64(h.Sum()), int64(h.Min()), int64(h.Max()))
+	}
+	return prof, b.String()
+}
+
+// TestStageProfileSplitDomains is the regression test for profiling on a
+// split-domain testbed: the transport stage's span opens on the host shard
+// and closes at the request's canonical arrival on the OSD shard, so its
+// recorded durations must bound below at the fabric propagation delay —
+// a close that misread the opening domain's mid-window clock would record
+// skewed (even sub-propagation or clamped-to-zero) times — and the whole
+// profile must replay bit-identically. Run under -race this also pins the
+// cross-shard record path: host and OSD workers feed one histogram map.
+func TestStageProfileSplitDomains(t *testing.T) {
+	prof, fp1 := splitProfileFingerprint(t, 7)
+
+	tr := prof.Stage(StageTransport)
+	if tr == nil || tr.Count() == 0 {
+		t.Fatalf("split-domain run recorded no transport spans; stages: %v", prof.Stages())
+	}
+	if min := tr.Min(); min < DefaultCostModel().Propagation {
+		t.Errorf("transport span min %v below the propagation delay %v: cross-domain close read a skewed clock", min, DefaultCostModel().Propagation)
+	}
+	for _, stage := range prof.Stages() {
+		h := prof.Stage(stage)
+		if h.Min() < 0 || h.Max() < h.Min() {
+			t.Errorf("stage %s histogram corrupt: min %v max %v", stage, h.Min(), h.Max())
+		}
+	}
+	// Host-side stages must have recorded alongside the cross-domain one.
+	for _, stage := range []string{StageKernel, StageCache, StageFanout} {
+		if h := prof.Stage(stage); h == nil || h.Count() == 0 {
+			t.Errorf("stage %s not recorded on the split testbed", stage)
+		}
+	}
+
+	if _, fp2 := splitProfileFingerprint(t, 7); fp1 != fp2 {
+		t.Fatalf("split-domain profile not deterministic:\n%s\nvs\n%s", fp1, fp2)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rados"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ResilienceConfig shapes the client-side fault tolerance of a testbed's
@@ -52,6 +53,8 @@ type Resilience struct {
 
 	eng *sim.Engine
 	rng *sim.RNG
+	// trace records per-attempt spans for sampled ops (nil = off).
+	trace *trace.Sink
 }
 
 func newResilience(eng *sim.Engine, cfg ResilienceConfig) *Resilience {
@@ -79,8 +82,14 @@ func (r *Resilience) retryPolicy() *rados.RetryPolicy {
 // re-issue after a jittered backoff until MaxRetries is spent. A completion
 // from an abandoned attempt is dropped — `settled` is per-attempt, so late
 // results from a timed-out issue never double-complete done.
-func (r *Resilience) retry(issue func(attempt int, done func(error)), done func(error)) {
+//
+// For sampled ops each attempt gets a "fanout-attempt" span; the span's
+// ref is re-parented into the issue (atr) so the fan-out target spans nest
+// under the attempt the critical path descends into, and retries cause-link
+// back to the attempt they replace.
+func (r *Resilience) retry(tr trace.Ref, issue func(attempt int, atr trace.Ref, done func(error)), done func(error)) {
 	attempt := 0
+	var prevAttempt uint64
 	var try func()
 	fail := func(err error) {
 		if attempt >= r.Cfg.MaxRetries {
@@ -93,6 +102,16 @@ func (r *Resilience) retry(issue func(attempt int, done func(error)), done func(
 	}
 	try = func() {
 		settled := false
+		atr := tr
+		var h trace.H
+		if r.trace != nil && tr.Sampled() {
+			h = r.trace.Begin(tr, "fanout-attempt")
+			if attempt > 0 {
+				h.Link(trace.KindRetry, prevAttempt)
+			}
+			prevAttempt = h.ID()
+			atr = h.Ref()
+		}
 		var timer sim.EventID
 		armed := r.Cfg.Deadline > 0
 		if armed {
@@ -101,15 +120,17 @@ func (r *Resilience) retry(issue func(attempt int, done func(error)), done func(
 					return
 				}
 				settled = true
+				h.End()
 				r.Counters.DeadlineExceeded++
 				fail(rados.ErrDeadline)
 			})
 		}
-		issue(attempt, func(err error) {
+		issue(attempt, atr, func(err error) {
 			if settled {
 				return
 			}
 			settled = true
+			h.End()
 			if armed {
 				r.eng.Cancel(timer)
 			}
@@ -136,8 +157,10 @@ func (f *Fanout) WriteReplicatedR(pool *rados.Pool, obj string, off, n int, opts
 		f.WriteReplicated(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(func(_ int, cb func(error)) {
-		f.WriteReplicated(pool, obj, off, n, opts, cb)
+	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+		aopts := opts
+		aopts.Trace = atr
+		f.WriteReplicated(pool, obj, off, n, aopts, cb)
 	}, done)
 }
 
@@ -148,8 +171,10 @@ func (f *Fanout) ReadReplicatedR(pool *rados.Pool, obj string, off, n int, opts 
 		f.ReadReplicated(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(func(attempt int, cb func(error)) {
-		f.readReplicatedShift(pool, obj, off, n, opts, attempt, cb)
+	f.Res.retry(opts.Trace, func(attempt int, atr trace.Ref, cb func(error)) {
+		aopts := opts
+		aopts.Trace = atr
+		f.readReplicatedShift(pool, obj, off, n, aopts, attempt, cb)
 	}, done)
 }
 
@@ -159,8 +184,10 @@ func (f *Fanout) WriteECR(pool *rados.Pool, obj string, off, n int, opts rados.R
 		f.WriteEC(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(func(_ int, cb func(error)) {
-		f.WriteEC(pool, obj, off, n, opts, cb)
+	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+		aopts := opts
+		aopts.Trace = atr
+		f.WriteEC(pool, obj, off, n, aopts, cb)
 	}, done)
 }
 
@@ -172,8 +199,10 @@ func (f *Fanout) ReadECR(pool *rados.Pool, obj string, off, n int, opts rados.Re
 		return
 	}
 	degraded := false
-	f.Res.retry(func(_ int, cb func(error)) {
-		f.ReadEC(pool, obj, off, n, opts, func(needDecode bool, err error) {
+	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+		aopts := opts
+		aopts.Trace = atr
+		f.ReadEC(pool, obj, off, n, aopts, func(needDecode bool, err error) {
 			if needDecode {
 				degraded = true
 				f.Res.Counters.DegradedReads++
@@ -201,9 +230,16 @@ func (f *Fanout) readReplicatedShift(pool *rados.Pool, obj string, off, n int, o
 	osd := up[shift%len(up)]
 	if shift > 0 && osd != up[0] {
 		f.Res.Counters.Failovers++
+		if f.Trace != nil {
+			f.Trace.Mark(opts.Trace, "replica-failover", trace.KindFailover, 0)
+		}
 	}
 	op := f.getRead()
 	op.opts, op.obj, op.off, op.n = opts, obj, off, n
 	op.osd, op.node, op.err, op.done = osd, c.NodeOf(osd), nil, done
+	op.span = trace.H{}
+	if f.Trace != nil && opts.Trace.Sampled() {
+		op.span = f.Trace.Begin(opts.Trace, "replica-read")
+	}
 	c.Fabric.Send(f.From, op.node, rados.HdrBytes, op.send)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file holds the stack machinery shared across compositions: the
@@ -51,10 +52,12 @@ type ringSet struct {
 	rings     []*iouring.Ring
 	callbacks []map[uint64]func(error)
 	nextUD    []uint64
+	// trace records SQ-full backoff spans for sampled ops (nil = off).
+	trace *trace.Sink
 }
 
 func newRingSet(tb *Testbed, spec StackSpec, target iouring.Target) (*ringSet, error) {
-	rs := &ringSet{eng: tb.Eng, rng: sim.NewRNG(sqRetrySeed)}
+	rs := &ringSet{eng: tb.Eng, rng: sim.NewRNG(sqRetrySeed), trace: tb.traceHost}
 	mode := iouring.SQPollMode
 	if spec.RingInterrupt {
 		mode = iouring.InterruptMode
@@ -98,16 +101,31 @@ func (rs *ringSet) reap(p *sim.Proc, idx int) {
 
 // submit queues one SQE on the cpu's ring; if the SQ is momentarily full
 // it retries after a seeded-jitter backoff.
-func (rs *ringSet) submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+func (rs *ringSet) submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
+	rs.submitBackoff(op, pattern, off, n, cpu, tr, -1, done)
+}
+
+// submitBackoff is submit carrying the first SQ-full observation time
+// (-1 = none yet), so a successful queue after backing off can record
+// one "sq-backoff" span covering the whole retry run.
+func (rs *ringSet) submitBackoff(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, backoffStart sim.Time, done func(error)) {
 	idx := cpu % len(rs.rings)
 	sqe := rs.rings[idx].GetSQE()
 	if sqe == nil {
+		if backoffStart < 0 {
+			backoffStart = rs.eng.Now()
+		}
 		delay := sqRetryBase + sim.Duration(rs.rng.Int63n(int64(sqRetrySpread)))
 		rs.eng.Schedule(delay, func() {
-			rs.submit(op, pattern, off, n, cpu, done)
+			rs.submitBackoff(op, pattern, off, n, cpu, tr, backoffStart, done)
 		})
 		return
 	}
+	if backoffStart >= 0 && rs.trace != nil && tr.Sampled() {
+		now := rs.eng.Now()
+		rs.trace.Emit(tr, "sq-backoff", backoffStart, now.Sub(backoffStart), 0, "", 0)
+	}
+	sqe.Trace = tr
 	sqe.Op = iouring.OpRead
 	if op == Write {
 		sqe.Op = iouring.OpWrite
@@ -161,6 +179,7 @@ type dmqTarget struct {
 	mapCost    sim.Duration
 	writeExtra sim.Duration
 	prof       *StageProfile
+	trace      *trace.Sink
 	// bare skips the kernel span and RBD map cost: the cacheTarget
 	// wrapping this target already charged them once above the cache.
 	bare bool
@@ -175,9 +194,17 @@ func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
 	}
 	endKernel := func() {}
 	delay := extra
+	tr := req.Trace
+	var hk trace.H
 	if !t.bare {
 		endKernel = t.prof.span(StageKernel)
 		delay += t.mapCost
+		if t.trace != nil && tr.Sampled() {
+			// The kernel span contains the whole below-ring residency;
+			// blk-mq and the card pipeline nest under it.
+			hk = t.trace.Begin(tr, "kernel")
+			tr = hk.Ref()
+		}
 	}
 	t.eng.Schedule(delay, func() {
 		// The transport span is the below-block-layer round trip: QDMA
@@ -185,9 +212,10 @@ func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
 		// the transport itself.
 		endTrans := t.prof.span(StageTransport)
 		length := req.Len
-		t.mq.SubmitAsync(op, req.Off, int(req.Len), req.RWFlags, req.CPU, func(err error) {
+		t.mq.SubmitAsyncTraced(op, req.Off, int(req.Len), req.RWFlags, req.CPU, tr, func(err error) {
 			endTrans()
 			endKernel()
+			hk.End()
 			if err != nil {
 				complete(iouring.ResEIO)
 				return
@@ -205,6 +233,7 @@ type radosTarget struct {
 	pool    *rados.Pool
 	mapCost sim.Duration
 	prof    *StageProfile
+	trace   *trace.Sink
 	// bare skips the kernel span and RBD map cost: the cacheTarget
 	// wrapping this target already charged them once above the cache.
 	bare bool
@@ -214,10 +243,17 @@ func (t *radosTarget) Submit(req iouring.Request, complete func(res int32)) {
 	t.tb.Eng.Spawn("dksw-io", func(p *sim.Proc) {
 		if !t.bare {
 			endKernel := t.prof.span(StageKernel)
+			// The kernel RBD residency is just the map cost here; the
+			// client round trips are siblings, not children, of it.
+			var hk trace.H
+			if t.trace != nil && req.Trace.Sampled() {
+				hk = t.trace.Begin(req.Trace, "kernel")
+			}
 			p.Sleep(t.mapCost)
 			endKernel()
+			hk.End()
 		}
-		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0}
+		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0, Trace: req.Trace}
 		err := t.image.VisitExtents(req.Off, int(req.Len), true, func(e rbd.Extent) error {
 			endFan := t.prof.span(StageFanout)
 			var operr error
@@ -253,9 +289,21 @@ func newSWClient(tb *Testbed, name string) (*rados.Client, error) {
 	if tb.Res != nil {
 		client.Retry = tb.Res.retryPolicy()
 	}
+	if tb.Tracer != nil {
+		client.TraceSink = tb.traceHost
+	}
 	if tb.Cfg.SplitDomains {
 		client.Split = true
 		client.Eng = tb.Eng
+		if prof := tb.Profile; prof != nil {
+			// The split protocol's request leg ends on the OSD shard at
+			// its canonical arrival time, so the transport span must
+			// close against the arrival engine's clock (spanAcross), not
+			// the opening domain's.
+			client.TransportSpan = func() func(*sim.Engine) {
+				return prof.spanAcross(tb.Eng, StageTransport)
+			}
+		}
 	}
 	return client, nil
 }

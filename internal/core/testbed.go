@@ -7,6 +7,7 @@ import (
 	"repro/internal/rados"
 	"repro/internal/rbd"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // TestbedConfig shapes one simulated deployment (defaults mirror the
@@ -112,6 +113,35 @@ type Testbed struct {
 	// shared by every stack built on this testbed: one policy, one jitter
 	// stream, one set of counters.
 	Res *Resilience
+	// Tracer, when non-nil (EnableTracing), drives per-I/O span tracing in
+	// stacks built afterwards. traceHost is the host-domain sink; on a
+	// split-domain testbed the OSDs record into their own osds-domain sink.
+	Tracer    *trace.Tracer
+	traceHost *trace.Sink
+}
+
+// EnableTracing attaches a per-I/O span tracer to the testbed. It must be
+// called before building the stack. Sinks are registered in a fixed
+// order — host domain first, then the OSD-side domain — so span IDs and
+// the finalized merge order are deterministic. The OSD service spans are
+// wired immediately (OSDs already exist); stack-side instrumentation
+// points pick the sink up at BuildStack time.
+func (tb *Testbed) EnableTracing(t *trace.Tracer) {
+	if t == nil || tb.Tracer != nil {
+		return
+	}
+	tb.Tracer = t
+	tb.traceHost = t.Sink(tb.Eng, "host")
+	osdSink := tb.traceHost
+	if tb.Cfg.SplitDomains {
+		osdSink = t.Sink(tb.Cluster.Eng, "osds")
+	}
+	for _, o := range tb.Cluster.OSDs {
+		o.SetTraceSink(osdSink)
+	}
+	if tb.Res != nil {
+		tb.Res.trace = tb.traceHost
+	}
 }
 
 // NewTestbed builds the cluster side.

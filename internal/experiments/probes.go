@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fio"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file backs the `-json` report's per-family observability section:
+// for every digestable experiment family it runs one representative cell
+// with stage profiling (and, for fault-bearing families, the resilience
+// layer) enabled, and summarises the per-stage latency histograms plus the
+// client-side resilience counters. The probe is evidence, not a
+// measurement family of its own — it has no digest and never feeds the
+// golden gates.
+
+// StageSummary is one stage's latency histogram, summarised.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Ops    uint64  `json:"ops"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// FamilyProbeResult is one family's observability snapshot.
+type FamilyProbeResult struct {
+	Stages     []StageSummary
+	Resilience metrics.Resilience
+}
+
+// familyProbe describes the representative cell a family is probed with.
+type familyProbe struct {
+	kind    core.StackKind
+	ec      bool
+	readPct int
+	fault   string // faultPlans scenario name; "" = healthy
+}
+
+// familyProbes maps every reportable family to its probe cell. Families
+// without an I/O path of their own (CRUSH bucket quality) are absent and
+// probe empty.
+var familyProbes = map[string]familyProbe{
+	"fig3":     {kind: core.StackDKSW, readPct: 100},
+	"fig6":     {kind: core.StackDKHW, readPct: 0},
+	"fig8":     {kind: core.StackDKHW, ec: true, readPct: 0},
+	"tab2":     {kind: core.StackDKHW, readPct: 100},
+	"faults":   {kind: core.StackDKSW, readPct: 70, fault: "partition"},
+	"recovery": {kind: core.StackDKHW, readPct: 70, fault: "loss-1%"},
+	"oltp":     {kind: core.StackDKSW, readPct: 70},
+	"cache":    {kind: core.StackDKHW, readPct: 50},
+}
+
+// FamilyProbe runs the named family's representative cell with stage
+// profiling enabled and returns its per-stage summaries and resilience
+// counters. Unknown families probe empty rather than failing, so the
+// report stays uniform as families come and go.
+func FamilyProbe(cfg Config, name string) (FamilyProbeResult, error) {
+	p, ok := familyProbes[name]
+	if !ok {
+		return FamilyProbeResult{}, nil
+	}
+	tcfg := testbedConfig()
+	if p.fault != "" {
+		tcfg.Resilience = core.DefaultResilienceConfig()
+		tcfg.Resilience.Seed = cfg.Seed
+	}
+	tb, err := core.NewTestbed(tcfg)
+	if err != nil {
+		return FamilyProbeResult{}, err
+	}
+	prof := tb.EnableProfiling()
+	var stack core.Stack
+	if name == "cache" {
+		sp, err := core.ParseStackSpec("deliba-k-hw+cache-lsvd")
+		if err != nil {
+			return FamilyProbeResult{}, err
+		}
+		stack, err = tb.BuildStack(sp)
+		if err != nil {
+			return FamilyProbeResult{}, err
+		}
+	} else {
+		stack, err = tb.NewStack(p.kind, p.ec)
+		if err != nil {
+			return FamilyProbeResult{}, err
+		}
+	}
+	if plan := planByName(p.fault); plan != nil && plan.arm != nil {
+		in := faults.NewInjector(tb.Eng, tb.Cluster, cfg.Seed)
+		rng := sim.NewRNG(planSeed(cfg.Seed, plan.name))
+		plan.arm(in, rng, len(tb.Cluster.OSDs), len(tb.Cluster.NodeHosts))
+	}
+	res, err := fio.Run(tb.Eng, stack, fio.JobSpec{
+		Name:       "probe-" + name,
+		ReadPct:    p.readPct,
+		Pattern:    core.Rand,
+		BlockSize:  4096,
+		QueueDepth: cfg.QueueDepth,
+		Jobs:       cfg.Jobs,
+		Ops:        cfg.Ops,
+		RampOps:    cfg.RampOps,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return FamilyProbeResult{}, err
+	}
+	if p.fault == "" && res.Errors > 0 {
+		return FamilyProbeResult{}, fmt.Errorf("experiments: probe %s: %d I/O errors", name, res.Errors)
+	}
+	out := FamilyProbeResult{}
+	for _, stage := range prof.Stages() {
+		h := prof.Stage(stage)
+		out.Stages = append(out.Stages, StageSummary{
+			Stage:  stage,
+			Ops:    h.Count(),
+			MeanUs: float64(h.Mean()) / 1e3,
+			P50Us:  float64(h.Median()) / 1e3,
+			P99Us:  float64(h.Percentile(99)) / 1e3,
+			P999Us: float64(h.Percentile(99.9)) / 1e3,
+			MaxUs:  float64(h.Max()) / 1e3,
+		})
+	}
+	if tb.Res != nil {
+		out.Resilience = tb.Res.Counters
+	}
+	return out, nil
+}

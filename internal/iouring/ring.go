@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Op is an SQE opcode. Only the block-I/O subset DeLiBA-K uses is modelled.
@@ -74,6 +75,9 @@ type SQE struct {
 	// real SQE's rw_flags field.
 	RWFlags  uint32
 	UserData uint64
+	// Trace is the per-I/O trace context riding on this SQE (zero when
+	// the op is unsampled or tracing is off).
+	Trace trace.Ref
 }
 
 // CQE is a completion queue entry.
@@ -128,6 +132,8 @@ type Request struct {
 	Registered bool
 	// CPU is the core this request was submitted from (set from the ring).
 	CPU int
+	// Trace is the per-I/O trace context copied from the SQE.
+	Trace trace.Ref
 }
 
 // Params configures a ring.
@@ -496,6 +502,7 @@ func (r *Ring) dispatchCB(sqe SQE, after func(res int32)) {
 		RWFlags:    sqe.RWFlags,
 		Registered: sqe.BufIndex >= 0,
 		CPU:        r.params.CPU,
+		Trace:      sqe.Trace,
 	}
 	userData := sqe.UserData
 	// Unregistered buffers pay a user->kernel copy on writes now and a

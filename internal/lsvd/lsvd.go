@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // RecordHdrBytes is the on-device size of one record header (offset,
@@ -24,6 +25,13 @@ const SegHdrBytes = 4096
 type Backend interface {
 	ReadMiss(off int64, n int, done func(error))
 	FlushExtent(p *sim.Proc, off int64, n int) error
+}
+
+// TracedBackend is an optional Backend extension: when implemented, miss
+// fills for sampled ops carry the per-I/O trace context down the inner
+// data path so the fill's spans nest in the op's trace.
+type TracedBackend interface {
+	ReadMissTraced(off int64, n int, tr trace.Ref, done func(error))
 }
 
 // Config carries the cache-device cost parameters and log geometry.
@@ -136,6 +144,9 @@ type segment struct {
 	bytes   int64 // appended bytes incl. headers (issued)
 	durable int64 // durably written bytes incl. headers
 	records []record
+	// tr is the trace context of the most recent sampled write appended
+	// to this segment; the write-back flush span cause-links to it.
+	tr trace.Ref
 }
 
 type fillEnt struct {
@@ -147,6 +158,7 @@ type pendingOp struct {
 	write bool
 	off   int64
 	n     int
+	tr    trace.Ref
 	done  func(error)
 }
 
@@ -162,6 +174,7 @@ type writeOp struct {
 	done         func(error)
 	epoch        uint64
 	queuedReplay bool
+	tr           trace.Ref
 	recs         []record
 }
 
@@ -173,6 +186,7 @@ type readOp struct {
 	n      int
 	done   func(error)
 	epoch  uint64
+	tr     trace.Ref
 	onDone func()
 }
 
@@ -197,6 +211,11 @@ type Cache struct {
 	writeIdx Index // dirty log-resident extents
 	readIdx  Index // clean read-cache extents
 	readUsed int64
+
+	// Trace, when non-nil, receives write-back flush spans cause-linked
+	// to the sampled write that dirtied the flushed segment. It must
+	// belong to the cache's own simulation domain.
+	Trace *trace.Sink
 
 	segs    []*segment
 	active  *segment
@@ -284,12 +303,19 @@ func (c *Cache) Close() {
 // chunk is durable on the cache device (the acknowledgement point for
 // crash consistency). Throttles by queueing when the log is full.
 func (c *Cache) Write(off int64, n int, done func(error)) {
+	c.WriteTraced(off, n, trace.Ref{}, done)
+}
+
+// WriteTraced is Write carrying a per-I/O trace context: sampled writes
+// tag the segments they dirty so the eventual write-back flush can
+// cause-link to them.
+func (c *Cache) WriteTraced(off int64, n int, tr trace.Ref, done func(error)) {
 	if c.crashed || c.recovering {
-		c.pending = append(c.pending, pendingOp{write: true, off: off, n: n, done: done})
+		c.pending = append(c.pending, pendingOp{write: true, off: off, n: n, tr: tr, done: done})
 		return
 	}
 	op := c.getWrite()
-	op.off, op.n, op.done, op.epoch = off, n, done, c.epoch
+	op.off, op.n, op.done, op.epoch, op.tr = off, n, done, c.epoch, tr
 	if !c.issueWrite(op) {
 		c.stats.Throttles++
 		c.waiters = append(c.waiters, op)
@@ -353,6 +379,9 @@ func (c *Cache) appendChunk(op *writeOp, n int) {
 	c.seq++
 	rec := record{off: op.off + int64(op.issued), n: n, seq: c.seq, segOff: seg.bytes + RecordHdrBytes}
 	seg.records = append(seg.records, rec)
+	if op.tr.Sampled() {
+		seg.tr = op.tr // latest sampled write wins the flush cause link
+	}
 	seg.bytes += RecordHdrBytes + int64(n)
 	op.issued += n
 	op.chunks++
@@ -400,7 +429,7 @@ func (c *Cache) requeueForReplay(op *writeOp) {
 	if !op.queuedReplay {
 		op.queuedReplay = true
 		c.stats.Replays++
-		c.pending = append(c.pending, pendingOp{write: true, off: op.off, n: op.n, done: op.done})
+		c.pending = append(c.pending, pendingOp{write: true, off: op.off, n: op.n, tr: op.tr, done: op.done})
 	}
 	// Recycle only after every issued chunk's (stale) completion has
 	// fired, so no device callback still references the struct.
@@ -436,15 +465,22 @@ func (c *Cache) urgent() bool {
 // read-around window from the backend and fills the read cache with
 // its clean bytes. The hit path performs zero heap allocations.
 func (c *Cache) Read(off int64, n int, done func(error)) {
+	c.ReadTraced(off, n, trace.Ref{}, done)
+}
+
+// ReadTraced is Read carrying a per-I/O trace context: sampled miss fills
+// hand it to the backend (when it implements TracedBackend) so the fill's
+// data-path spans nest in the op's trace.
+func (c *Cache) ReadTraced(off int64, n int, tr trace.Ref, done func(error)) {
 	if c.crashed || c.recovering {
-		c.pending = append(c.pending, pendingOp{off: off, n: n, done: done})
+		c.pending = append(c.pending, pendingOp{off: off, n: n, tr: tr, done: done})
 		return
 	}
 	end := off + int64(n)
 	if CoveredUnion(&c.writeIdx, &c.readIdx, off, end) {
 		c.stats.Hits++
 		op := c.getRead()
-		op.off, op.n, op.done, op.epoch = off, n, done, c.epoch
+		op.off, op.n, op.done, op.epoch, op.tr = off, n, done, c.epoch, tr
 		c.dev.Read(n, op.onDone)
 		return
 	}
@@ -458,7 +494,7 @@ func (c *Cache) Read(off int64, n int, done func(error)) {
 		ra1 = c.cfg.DiskBytes
 	}
 	epoch0 := c.epoch
-	c.be.ReadMiss(ra0, int(ra1-ra0), func(err error) {
+	fillDone := func(err error) {
 		if err != nil {
 			done(err)
 			return
@@ -467,7 +503,12 @@ func (c *Cache) Read(off int64, n int, done func(error)) {
 			c.fill(ra0, ra1)
 		}
 		done(nil)
-	})
+	}
+	if tb, ok := c.be.(TracedBackend); ok && tr.Sampled() {
+		tb.ReadMissTraced(ra0, int(ra1-ra0), tr, fillDone)
+		return
+	}
+	c.be.ReadMiss(ra0, int(ra1-ra0), fillDone)
 }
 
 func (c *Cache) readDone(op *readOp) {
@@ -475,10 +516,12 @@ func (c *Cache) readDone(op *readOp) {
 	op.done = nil
 	if op.epoch != c.epoch {
 		c.stats.Replays++
-		c.pending = append(c.pending, pendingOp{off: op.off, n: op.n, done: done})
+		c.pending = append(c.pending, pendingOp{off: op.off, n: op.n, tr: op.tr, done: done})
+		op.tr = trace.Ref{}
 		c.readPool = append(c.readPool, op)
 		return
 	}
+	op.tr = trace.Ref{}
 	c.readPool = append(c.readPool, op)
 	done(nil)
 }
@@ -582,6 +625,14 @@ func (c *Cache) flushRound(p *sim.Proc) {
 // flushSegment writes seg's live extents to the backend (dead bytes
 // are garbage-collected by omission), then drops and recycles it.
 func (c *Cache) flushSegment(p *sim.Proc, seg *segment, epoch0 uint64) error {
+	// The flush span joins the trace of the last sampled write that
+	// dirtied this segment, cause-linked to that write's cache span —
+	// the "why is the backend busy" edge for tail analysis.
+	if c.Trace != nil && seg.tr.Sampled() {
+		h := c.Trace.Begin(seg.tr, "writeback-flush")
+		h.Link(trace.KindFlush, seg.tr.Parent)
+		defer h.End()
+	}
 	c.scratch = c.writeIdx.CollectSeg(seg.id, c.scratch[:0])
 	live := c.scratch
 	var liveBytes int64
@@ -621,6 +672,7 @@ func (c *Cache) recycle(seg *segment) {
 	seg.state = segFree
 	seg.bytes = 0
 	seg.durable = 0
+	seg.tr = trace.Ref{}
 	seg.records = seg.records[:0]
 	c.free = append(c.free, seg.id)
 }
@@ -651,6 +703,7 @@ func (c *Cache) putWrite(op *writeOp) {
 	op.done = nil
 	op.issued, op.chunks, op.durable = 0, 0, 0
 	op.queuedReplay = false
+	op.tr = trace.Ref{}
 	op.recs = op.recs[:0]
 	c.writePool = append(c.writePool, op)
 }

@@ -43,7 +43,7 @@ func (c *Cache) Crash() {
 		if !op.queuedReplay {
 			op.queuedReplay = true
 			c.stats.Replays++
-			c.pending = append(c.pending, pendingOp{write: true, off: op.off, n: op.n, done: op.done})
+			c.pending = append(c.pending, pendingOp{write: true, off: op.off, n: op.n, tr: op.tr, done: op.done})
 			if op.durable == op.chunks {
 				c.putWrite(op)
 			}
@@ -131,9 +131,9 @@ func (c *Cache) Recover(done func()) {
 		c.pending = nil
 		for _, po := range pend {
 			if po.write {
-				c.Write(po.off, po.n, po.done)
+				c.WriteTraced(po.off, po.n, po.tr, po.done)
 			} else {
-				c.Read(po.off, po.n, po.done)
+				c.ReadTraced(po.off, po.n, po.tr, po.done)
 			}
 		}
 		c.wakeFlusher()

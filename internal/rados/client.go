@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrDeadline marks an attempt abandoned at its per-attempt deadline. The
@@ -55,6 +56,22 @@ type Client struct {
 	Functional bool
 	// Retry, when non-nil, arms deadlines, retries and read failover.
 	Retry *RetryPolicy
+	// TraceSink, when non-nil, receives client-side recovery spans
+	// (retry attempts, read failovers, degraded-read decodes) for sampled
+	// ops. It must belong to the client's own domain; split-domain mode
+	// never touches it from OSD-side arrivals because retries, failover
+	// and EC are all rejected there.
+	TraceSink *trace.Sink
+
+	// TransportSpan, when non-nil, measures the host→primary request leg
+	// of each split-domain operation. It is called on the client's shard
+	// as the request is handed to the fabric; the returned func runs at
+	// the request's canonical arrival on the OSD shard and receives that
+	// shard's engine, whose clock at the arrival event IS the canonical
+	// arrival time. Reading the client engine's clock there instead would
+	// race with the host shard's window worker and observe a mid-window
+	// skewed time.
+	TransportSpan func() func(arrive *sim.Engine)
 
 	// Split routes replicated I/O through the arrival-driven split-domain
 	// protocol: the client host and the OSD nodes live in different
@@ -117,11 +134,13 @@ func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data [
 		}
 		return cl.writeReplicated(p, pool, obj, off, data, opts)
 	}
-	_, err := cl.withRetry(p, func(sp *sim.Proc, try int) (any, error) {
+	_, err := cl.withRetry(p, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
+		aopts := opts
+		aopts.Trace = atr
 		if pool.Kind == ECPool {
-			return nil, cl.writeEC(sp, pool, obj, off, data, opts)
+			return nil, cl.writeEC(sp, pool, obj, off, data, aopts)
 		}
-		return nil, cl.writeReplicated(sp, pool, obj, off, data, opts)
+		return nil, cl.writeReplicated(sp, pool, obj, off, data, aopts)
 	})
 	return err
 }
@@ -130,14 +149,27 @@ func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data [
 // its own proc so a deadline can abandon it: the attempt proc keeps running
 // to completion (the cluster may still apply the op), but nobody observes
 // its result — the same semantics as a timed-out RPC.
-func (cl *Client) withRetry(p *sim.Proc, attempt func(sp *sim.Proc, try int) (any, error)) (any, error) {
+func (cl *Client) withRetry(p *sim.Proc, tr trace.Ref, attempt func(sp *sim.Proc, try int, atr trace.Ref) (any, error)) (any, error) {
 	r := cl.Retry
 	eng := cl.Cluster.Eng
+	var prevAttempt uint64 // span ID of the previous attempt (cause link)
 	for try := 0; ; try++ {
 		c := eng.NewCompletion()
 		t := try
+		h := cl.TraceSink.Begin(tr, "rados-attempt")
+		if try > 0 {
+			h.Link(trace.KindRetry, prevAttempt)
+		}
+		prevAttempt = h.ID()
+		// Children of this attempt (OSD service spans, failover markers)
+		// parent under the attempt span so the critical path can descend
+		// attempt → osd-service; unsampled ops pass the zero Ref through.
+		atr := tr
+		if h.On() {
+			atr = h.Ref()
+		}
 		eng.Spawn("rados-attempt", func(sp *sim.Proc) {
-			v, err := attempt(sp, t)
+			v, err := attempt(sp, t, atr)
 			c.Complete(v, err)
 		})
 		var v any
@@ -154,6 +186,9 @@ func (cl *Client) withRetry(p *sim.Proc, attempt func(sp *sim.Proc, try int) (an
 		} else {
 			v, err = p.Await(c)
 		}
+		// The attempt span ends when the caller stops observing it — at
+		// completion or at deadline abandonment (the proc may run on).
+		h.End()
 		if err == nil || try >= r.MaxRetries {
 			return v, err
 		}
@@ -251,8 +286,13 @@ func (cl *Client) writeReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off 
 	pNode := c.NodeOf(primary)
 	fab := cl.fabric()
 	done := cl.eng().NewCompletion()
+	endNet := func(*sim.Engine) {}
+	if cl.TransportSpan != nil {
+		endNet = cl.TransportSpan()
+	}
 	fab.Send(cl.Host, pNode, HdrBytes+len(data), func() {
 		// OSD-shard context from here on.
+		endNet(c.Eng)
 		remaining := len(members)
 		var firstErr error
 		ackOne := func(err error) {
@@ -308,7 +348,12 @@ func (cl *Client) readReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off, 
 	pNode := c.NodeOf(primary)
 	fab := cl.fabric()
 	done := cl.eng().NewCompletion()
+	endNet := func(*sim.Engine) {}
+	if cl.TransportSpan != nil {
+		endNet = cl.TransportSpan()
+	}
 	fab.Send(cl.Host, pNode, HdrBytes, func() {
+		endNet(c.Eng)
 		c.OSDs[primary].SubmitOpts(opts, OpRead, obj, off, nil, n, func(r Result) {
 			if r.Err != nil {
 				rerr := r.Err
@@ -346,11 +391,13 @@ func (cl *Client) ReadOpts(p *sim.Proc, pool *Pool, obj string, off, n int, opts
 		}
 		return cl.readReplicated(p, pool, obj, off, n, opts, 0)
 	}
-	v, err := cl.withRetry(p, func(sp *sim.Proc, try int) (any, error) {
+	v, err := cl.withRetry(p, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
+		aopts := opts
+		aopts.Trace = atr
 		if pool.Kind == ECPool {
-			return cl.readEC(sp, pool, obj, off, n, opts)
+			return cl.readEC(sp, pool, obj, off, n, aopts)
 		}
-		return cl.readReplicated(sp, pool, obj, off, n, opts, try)
+		return cl.readReplicated(sp, pool, obj, off, n, aopts, try)
 	})
 	if err != nil {
 		return nil, err
@@ -384,6 +431,12 @@ func (cl *Client) readReplicated(p *sim.Proc, pool *Pool, obj string, off, n int
 			primary = o
 			if cl.Retry != nil && cl.Retry.Counters != nil {
 				cl.Retry.Counters.Failovers++
+			}
+			// Instant cause marker: this attempt reads a non-primary
+			// replica because earlier attempts failed.
+			if cl.TraceSink != nil && opts.Trace.Sampled() {
+				cl.TraceSink.Emit(opts.Trace, "replica-failover",
+					cl.eng().Now(), 0, 0, trace.KindFailover, 0)
 			}
 		}
 	}
@@ -558,7 +611,10 @@ func (cl *Client) readEC(p *sim.Proc, pool *Pool, obj string, off, n int, opts R
 		if cl.Retry != nil && cl.Retry.Counters != nil {
 			cl.Retry.Counters.DegradedReads++
 		}
+		h := cl.TraceSink.Begin(opts.Trace, "ec-decode")
+		h.Link(trace.KindDegraded, 0)
 		p.Sleep(cl.ECDecodeCost(n))
+		h.End()
 	}
 	if cl.Functional {
 		if needDecode {

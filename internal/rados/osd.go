@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrOSDDown marks a request failed because its OSD is down or crashed
@@ -91,7 +92,15 @@ type OSD struct {
 	ServiceHist *metrics.Histogram
 	served      uint64
 	crashes     uint64
+	// traceSink receives one "osd-service" span per sampled request,
+	// split into lane-queue wait and drive service (nil = tracing off).
+	// It must be a sink registered on this OSD's own domain.
+	traceSink *trace.Sink
 }
+
+// SetTraceSink wires the OSD's span sink; pass nil to disable. The sink
+// must belong to the simulation domain the OSD runs on.
+func (o *OSD) SetTraceSink(s *trace.Sink) { o.traceSink = s }
 
 // pendingOp is one accepted request awaiting service. idx is its position
 // in the OSD's pending slice (swap-removal keeps completion O(1)); aborted
@@ -214,6 +223,8 @@ type ReqOpts struct {
 	// Random marks the request as part of a random access pattern,
 	// adding the profile's locality penalty.
 	Random bool
+	// Trace is the per-I/O trace context (zero = unsampled).
+	Trace trace.Ref
 }
 
 // Submit enqueues a request and invokes done with the result when service
@@ -240,6 +251,7 @@ func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []by
 			size = len(data)
 		}
 		o.lanes.Acquire(p, 1)
+		wait := o.eng.Now().Sub(start)
 		p.Sleep(o.serviceTime(op, size, opts.Random))
 		o.lanes.Release(1)
 		// A crash mid-queue already failed the request; do not complete it
@@ -257,6 +269,12 @@ func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []by
 		}
 		o.served++
 		o.ServiceHist.Record(o.eng.Now().Sub(start))
+		// One uniform span name so critical-path aggregation pools all
+		// replicas into a single "osd-service" attribution bucket.
+		if o.traceSink != nil && opts.Trace.Sampled() {
+			o.traceSink.Emit(opts.Trace, "osd-service",
+				start, o.eng.Now().Sub(start), wait, "", 0)
+		}
 		done(res)
 	})
 }

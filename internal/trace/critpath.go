@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// PathShare is one row of a critical-path attribution: how much of an
+// op's end-to-end latency a span (or its queue-wait portion, suffixed
+// ":wait") was responsible for.
+type PathShare struct {
+	Name  string
+	Dur   sim.Duration
+	Share float64
+}
+
+// CriticalPath walks the span tree rooted at root backwards from its end
+// and attributes every nanosecond of the root's duration to exactly one
+// span on the blocking chain. At each level it repeatedly picks the
+// not-yet-covered child with the latest end time: the interval between
+// that child's end and the current frontier is the parent's own doing
+// (self time); the child's interval is attributed recursively. Time a
+// span spent queue-waiting (its Wait prefix) is split out as "name:wait".
+//
+// The walk is purely a function of the recorded spans, so identical span
+// sets yield identical attributions.
+func CriticalPath(spans []Span, root uint64) []PathShare {
+	byID := make(map[uint64]int, len(spans))
+	children := map[uint64][]int{}
+	ri := -1
+	for i := range spans {
+		byID[spans[i].ID] = i
+		if spans[i].ID == root {
+			ri = i
+			continue
+		}
+		if spans[i].Parent != 0 {
+			children[spans[i].Parent] = append(children[spans[i].Parent], i)
+		}
+	}
+	if ri < 0 || spans[ri].Dur <= 0 {
+		return nil
+	}
+	// Deterministic child order: latest end first, span ID tiebreak.
+	for _, ch := range children {
+		sort.Slice(ch, func(a, b int) bool {
+			ea, eb := spans[ch[a]].End(), spans[ch[b]].End()
+			if ea != eb {
+				return ea > eb
+			}
+			return spans[ch[a]].ID < spans[ch[b]].ID
+		})
+	}
+
+	sums := map[string]sim.Duration{}
+	var names []string
+	credit := func(name string, d sim.Duration) {
+		if d <= 0 {
+			return
+		}
+		if _, ok := sums[name]; !ok {
+			names = append(names, name)
+		}
+		sums[name] += d
+	}
+	// creditSpan attributes [lo, hi) of span i's interval, splitting the
+	// queue-wait prefix [Start, Start+Wait) out as its own row.
+	creditSpan := func(i int, lo, hi sim.Time) {
+		sp := &spans[i]
+		wend := sp.Start.Add(sp.Wait)
+		if sp.Wait > 0 && lo < wend {
+			wHi := hi
+			if wend < wHi {
+				wHi = wend
+			}
+			credit(sp.Name+":wait", wHi.Sub(lo))
+			lo = wHi
+		}
+		credit(sp.Name, hi.Sub(lo))
+	}
+
+	var walk func(i int, lo, hi sim.Time)
+	walk = func(i int, lo, hi sim.Time) {
+		t := hi
+		for _, ci := range children[spans[i].ID] {
+			c := &spans[ci]
+			ce, cs := c.End(), c.Start
+			if ce > t {
+				ce = t
+			}
+			if cs < lo {
+				cs = lo
+			}
+			if ce <= cs || ce <= lo {
+				continue
+			}
+			creditSpan(i, ce, t) // parent self time between children
+			walk(ci, cs, ce)
+			t = cs
+			if t <= lo {
+				break
+			}
+		}
+		creditSpan(i, lo, t) // remaining parent self time
+	}
+	r := &spans[ri]
+	walk(ri, r.Start, r.End())
+
+	total := r.Dur
+	out := make([]PathShare, 0, len(names))
+	for _, n := range names {
+		out = append(out, PathShare{Name: n, Dur: sums[n], Share: float64(sums[n]) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,468 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// The emitted file is Chrome/Perfetto "JSON object format": a
+// `traceEvents` array of "X" (complete) and "M" (metadata) events, plus a
+// `delibaTrace` summary section that Perfetto ignores and `dfxtool trace`
+// consumes. Encoding is hand-rolled with strconv so the bytes are a pure
+// function of the span data — no map iteration, no float formatting of
+// times (timestamps are integer-nanosecond fixed-point printed as
+// microseconds with 3 decimals).
+
+// FileSchema identifies the summary section's layout.
+const FileSchema = "deliba-trace-v1"
+
+// WriteFile encodes the cells as one Perfetto-loadable trace file.
+// Cells must already be in canonical (enumeration) order.
+func WriteFile(w io.Writer, cells []*Result) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+		}
+		first = false
+	}
+	for ci, cell := range cells {
+		pid := ci + 1
+		sep()
+		bw.WriteString("{\"ph\":\"M\",\"pid\":")
+		bw.WriteString(strconv.Itoa(pid))
+		bw.WriteString(",\"name\":\"process_name\",\"args\":{\"name\":")
+		writeJSONString(bw, cell.Cell)
+		bw.WriteString("}}")
+		// One thread per domain, in first-appearance (canonical) order.
+		tids := map[string]int{}
+		var domains []string
+		for i := range cell.Spans {
+			d := cell.Spans[i].Domain
+			if _, ok := tids[d]; !ok {
+				tids[d] = len(domains) + 1
+				domains = append(domains, d)
+			}
+		}
+		for _, d := range domains {
+			sep()
+			bw.WriteString("{\"ph\":\"M\",\"pid\":")
+			bw.WriteString(strconv.Itoa(pid))
+			bw.WriteString(",\"tid\":")
+			bw.WriteString(strconv.Itoa(tids[d]))
+			bw.WriteString(",\"name\":\"thread_name\",\"args\":{\"name\":")
+			writeJSONString(bw, d)
+			bw.WriteString("}}")
+		}
+		for i := range cell.Spans {
+			sp := &cell.Spans[i]
+			sep()
+			writeSpanEvent(bw, pid, tids[sp.Domain], sp)
+		}
+	}
+	bw.WriteString("\n],\"delibaTrace\":")
+	if err := writeSummary(bw, cells); err != nil {
+		return err
+	}
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+func writeSpanEvent(bw *bufio.Writer, pid, tid int, sp *Span) {
+	bw.WriteString("{\"ph\":\"X\",\"pid\":")
+	bw.WriteString(strconv.Itoa(pid))
+	bw.WriteString(",\"tid\":")
+	bw.WriteString(strconv.Itoa(tid))
+	bw.WriteString(",\"name\":")
+	writeJSONString(bw, sp.Name)
+	bw.WriteString(",\"cat\":\"io\",\"ts\":")
+	writeMicros(bw, int64(sp.Start))
+	bw.WriteString(",\"dur\":")
+	writeMicros(bw, int64(sp.Dur))
+	bw.WriteString(",\"args\":{\"trace\":\"")
+	bw.WriteString(hex64(sp.Trace))
+	bw.WriteString("\",\"span\":\"")
+	bw.WriteString(hex64(sp.ID))
+	bw.WriteString("\"")
+	if sp.Parent != 0 {
+		bw.WriteString(",\"parent\":\"")
+		bw.WriteString(hex64(sp.Parent))
+		bw.WriteString("\"")
+	}
+	if sp.Wait != 0 {
+		bw.WriteString(",\"wait_ns\":")
+		bw.WriteString(strconv.FormatInt(int64(sp.Wait), 10))
+	}
+	if sp.Kind != "" {
+		bw.WriteString(",\"kind\":")
+		writeJSONString(bw, sp.Kind)
+	}
+	if sp.Cause != 0 {
+		bw.WriteString(",\"cause\":\"")
+		bw.WriteString(hex64(sp.Cause))
+		bw.WriteString("\"")
+	}
+	bw.WriteString("}}")
+}
+
+func writeSummary(bw *bufio.Writer, cells []*Result) error {
+	bw.WriteString("{\"schema\":\"" + FileSchema + "\",\"cells\":[")
+	for ci, cell := range cells {
+		if ci > 0 {
+			bw.WriteString(",")
+		}
+		bw.WriteString("\n{\"cell\":")
+		writeJSONString(bw, cell.Cell)
+		bw.WriteString(",\"ops\":")
+		bw.WriteString(strconv.FormatUint(cell.Ops, 10))
+		bw.WriteString(",\"sampled\":")
+		bw.WriteString(strconv.Itoa(cell.Sampled))
+		bw.WriteString(",\"exemplars\":[")
+		for ei := range cell.Exemplars {
+			ex := &cell.Exemplars[ei]
+			if ei > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString("\n {\"trace\":\"")
+			bw.WriteString(hex64(ex.Trace))
+			bw.WriteString("\",\"root\":\"")
+			bw.WriteString(hex64(ex.Root))
+			bw.WriteString("\",\"dur_ns\":")
+			bw.WriteString(strconv.FormatInt(int64(ex.Dur), 10))
+			bw.WriteString(",\"cause\":")
+			bw.WriteString(strconv.FormatBool(ex.Cause))
+			bw.WriteString(",\"path\":")
+			writePath(bw, ex.Path)
+			bw.WriteString("}")
+		}
+		bw.WriteString("],\"critpath\":")
+		writePath(bw, cell.CritPath)
+		bw.WriteString("}")
+	}
+	bw.WriteString("]}")
+	return nil
+}
+
+func writePath(bw *bufio.Writer, path []PathShare) {
+	bw.WriteString("[")
+	for i, ps := range path {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		bw.WriteString("{\"name\":")
+		writeJSONString(bw, ps.Name)
+		bw.WriteString(",\"dur_ns\":")
+		bw.WriteString(strconv.FormatInt(int64(ps.Dur), 10))
+		bw.WriteString(",\"share\":")
+		bw.WriteString(strconv.FormatFloat(ps.Share, 'f', 4, 64))
+		bw.WriteString("}")
+	}
+	bw.WriteString("]")
+}
+
+// writeMicros prints an integer-nanosecond value as microseconds with
+// exactly three decimals — lossless, deterministic, no float math.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	frac := ns % 1000
+	bw.WriteByte('.')
+	bw.WriteString(fmt.Sprintf("%03d", frac))
+}
+
+func hex64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// writeJSONString emits s as a JSON string literal. Span and cell names
+// are plain ASCII identifiers, but escape defensively so arbitrary names
+// (fuzzing included) still produce valid JSON that round-trips. Invalid
+// UTF-8 is replaced with U+FFFD *before* marshaling: json.Marshal would
+// escape invalid bytes as � yet emit already-valid U+FFFD literally,
+// which would make encoding non-idempotent under decode/re-encode.
+func writeJSONString(bw *bufio.Writer, s string) {
+	b, _ := json.Marshal(strings.ToValidUTF8(s, "�"))
+	bw.Write(b)
+}
+
+func parseHex64(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// parseMicros inverts writeMicros: "123.456" -> 123456 ns.
+func parseMicros(s string) (int64, error) {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 || len(s)-dot-1 != 3 {
+		return 0, fmt.Errorf("trace: malformed microsecond literal %q", s)
+	}
+	us, err := strconv.ParseInt(s[:dot], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	frac, err := strconv.ParseInt(s[dot+1:], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	ns := us*1000 + frac
+	if neg {
+		ns = -ns
+	}
+	return ns, nil
+}
+
+// ValidateTraceEvents checks a trace file against the Chrome/Perfetto
+// trace_event contract: top-level traceEvents array; every event carries
+// ph and pid; "X" events carry name, ts and dur; "M" events are limited
+// to process_name/thread_name with a string args.name. Used by the CI
+// `-trace` smoke (via `dfxtool trace validate`).
+func ValidateTraceEvents(r io.Reader) error {
+	var raw rawFile
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if raw.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range raw.TraceEvents {
+		if ev.Pid <= 0 {
+			return fmt.Errorf("trace: event %d: missing pid", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" {
+				return fmt.Errorf("trace: event %d: X event without name", i)
+			}
+			if _, err := parseMicros(ev.Ts.String()); err != nil {
+				return fmt.Errorf("trace: event %d: bad ts: %w", i, err)
+			}
+			if _, err := parseMicros(ev.Dur.String()); err != nil {
+				return fmt.Errorf("trace: event %d: bad dur: %w", i, err)
+			}
+			var args rawSpanArgs
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				return fmt.Errorf("trace: event %d: bad args: %w", i, err)
+			}
+			if args.Trace == "" || args.Span == "" {
+				return fmt.Errorf("trace: event %d: span event without trace/span ids", i)
+			}
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return fmt.Errorf("trace: event %d: unexpected metadata %q", i, ev.Name)
+			}
+			var meta struct {
+				Name *string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &meta); err != nil || meta.Name == nil {
+				return fmt.Errorf("trace: event %d: metadata without args.name", i)
+			}
+		default:
+			return fmt.Errorf("trace: event %d: unsupported phase %q", i, ev.Ph)
+		}
+	}
+	return nil
+}
+
+// File is the decoded form of a trace file: the span events regrouped per
+// cell plus the summary section.
+type File struct {
+	Cells   []*Result
+	Summary Summary
+}
+
+// Summary mirrors the delibaTrace section.
+type Summary struct {
+	Schema string        `json:"schema"`
+	Cells  []SummaryCell `json:"cells"`
+}
+
+// SummaryCell is one cell's summary entry.
+type SummaryCell struct {
+	Cell      string         `json:"cell"`
+	Ops       uint64         `json:"ops"`
+	Sampled   int            `json:"sampled"`
+	Exemplars []SummaryTrace `json:"exemplars"`
+	CritPath  []SummaryShare `json:"critpath"`
+}
+
+// SummaryTrace is one exemplar's summary entry.
+type SummaryTrace struct {
+	Trace string         `json:"trace"`
+	Root  string         `json:"root"`
+	DurNs int64          `json:"dur_ns"`
+	Cause bool           `json:"cause"`
+	Path  []SummaryShare `json:"path"`
+}
+
+// SummaryShare is one critical-path attribution row.
+type SummaryShare struct {
+	Name  string  `json:"name"`
+	DurNs int64   `json:"dur_ns"`
+	Share float64 `json:"share"`
+}
+
+type rawEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ts   json.Number     `json:"ts"`
+	Dur  json.Number     `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+type rawSpanArgs struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent"`
+	WaitNs int64  `json:"wait_ns"`
+	Kind   string `json:"kind"`
+	Cause  string `json:"cause"`
+}
+
+type rawFile struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+	DelibaTrace Summary    `json:"delibaTrace"`
+}
+
+// ReadFile decodes a trace file previously written by WriteFile. Span
+// events are regrouped per cell in event order; exemplar/critical-path
+// data comes from the summary section.
+func ReadFile(r io.Reader) (*File, error) {
+	var raw rawFile
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if raw.DelibaTrace.Schema != FileSchema {
+		return nil, fmt.Errorf("trace: unsupported summary schema %q (want %q)", raw.DelibaTrace.Schema, FileSchema)
+	}
+	byPid := map[int]*Result{}
+	domains := map[int]map[int]string{}
+	var pids []int
+	cellFor := func(pid int) *Result {
+		c, ok := byPid[pid]
+		if !ok {
+			c = &Result{}
+			byPid[pid] = c
+			domains[pid] = map[int]string{}
+			pids = append(pids, pid)
+		}
+		return c
+	}
+	for _, ev := range raw.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			var meta struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &meta); err != nil {
+				return nil, fmt.Errorf("trace: metadata args: %w", err)
+			}
+			c := cellFor(ev.Pid)
+			switch ev.Name {
+			case "process_name":
+				c.Cell = meta.Name
+			case "thread_name":
+				domains[ev.Pid][ev.Tid] = meta.Name
+			}
+		case "X":
+			c := cellFor(ev.Pid)
+			var args rawSpanArgs
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				return nil, fmt.Errorf("trace: span args: %w", err)
+			}
+			sp := Span{Name: ev.Name, Domain: domains[ev.Pid][ev.Tid], Kind: args.Kind, Wait: sim.Duration(args.WaitNs)}
+			var err error
+			var v int64
+			if v, err = parseMicros(ev.Ts.String()); err != nil {
+				return nil, err
+			}
+			sp.Start = sim.Time(v)
+			if v, err = parseMicros(ev.Dur.String()); err != nil {
+				return nil, err
+			}
+			sp.Dur = sim.Duration(v)
+			if sp.Trace, err = parseHex64(args.Trace); err != nil {
+				return nil, fmt.Errorf("trace: span trace id: %w", err)
+			}
+			if sp.ID, err = parseHex64(args.Span); err != nil {
+				return nil, fmt.Errorf("trace: span id: %w", err)
+			}
+			if args.Parent != "" {
+				if sp.Parent, err = parseHex64(args.Parent); err != nil {
+					return nil, fmt.Errorf("trace: span parent: %w", err)
+				}
+			}
+			if args.Cause != "" {
+				if sp.Cause, err = parseHex64(args.Cause); err != nil {
+					return nil, fmt.Errorf("trace: span cause: %w", err)
+				}
+			}
+			c.Spans = append(c.Spans, sp)
+		default:
+			return nil, fmt.Errorf("trace: unsupported event phase %q", ev.Ph)
+		}
+	}
+	sort.Ints(pids)
+	f := &File{Summary: raw.DelibaTrace}
+	for _, pid := range pids {
+		f.Cells = append(f.Cells, byPid[pid])
+	}
+	// Rehydrate counters and exemplar tables from the summary so decoded
+	// results carry the same information as the originals.
+	byName := map[string]*Result{}
+	for _, c := range f.Cells {
+		byName[c.Cell] = c
+	}
+	for _, sc := range f.Summary.Cells {
+		c, ok := byName[sc.Cell]
+		if !ok {
+			c = &Result{Cell: sc.Cell}
+			f.Cells = append(f.Cells, c)
+		}
+		c.Ops = sc.Ops
+		c.Sampled = sc.Sampled
+		for _, st := range sc.Exemplars {
+			tr, err := parseHex64(st.Trace)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := parseHex64(st.Root)
+			if err != nil {
+				return nil, err
+			}
+			c.Exemplars = append(c.Exemplars, Exemplar{
+				Trace: tr, Root: rt, Dur: sim.Duration(st.DurNs), Cause: st.Cause,
+				Path: sharesFromSummary(st.Path),
+			})
+		}
+		c.CritPath = sharesFromSummary(sc.CritPath)
+	}
+	return f, nil
+}
+
+func sharesFromSummary(rows []SummaryShare) []PathShare {
+	var out []PathShare
+	for _, r := range rows {
+		out = append(out, PathShare{Name: r.Name, Dur: sim.Duration(r.DurNs), Share: r.Share})
+	}
+	return out
+}

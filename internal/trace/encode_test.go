@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleCells() []*Result {
+	return []*Result{
+		{
+			Cell: "fig3/dk-sw/rand-read/4k", Ops: 120, Sampled: 4,
+			Spans: []Span{
+				{ID: 1<<32 | 1, Trace: 0xabc, Name: "io", Domain: "host", Start: 1000, Dur: 250000},
+				{ID: 1<<32 | 2, Parent: 1<<32 | 1, Trace: 0xabc, Name: "blk-mq", Domain: "host", Start: 2000, Dur: 100000, Wait: 40000},
+				{ID: 2<<32 | 1, Parent: 1<<32 | 2, Trace: 0xabc, Name: "osd-service", Domain: "osds", Start: 50000, Dur: 30000, Wait: 1000, Kind: KindRetry, Cause: 1<<32 | 1},
+			},
+			Exemplars: []Exemplar{{
+				Trace: 0xabc, Root: 1<<32 | 1, Dur: 250000, Cause: true,
+				Path: []PathShare{{Name: "osd-service", Dur: 200000, Share: 0.8}, {Name: "io", Dur: 50000, Share: 0.2}},
+			}},
+			CritPath: []PathShare{{Name: "osd-service", Dur: 200000, Share: 0.8}, {Name: "io", Dur: 50000, Share: 0.2}},
+		},
+		{Cell: "faults/osd-crash", Ops: 7, Sampled: 7},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cells := sampleCells()
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("decoded %d cells, want 2", len(f.Cells))
+	}
+	var buf2 bytes.Buffer
+	if err := WriteFile(&buf2, f.Cells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("encode->decode->encode not byte-identical:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+	got := f.Cells[0]
+	want := cells[0]
+	if got.Cell != want.Cell || got.Ops != want.Ops || got.Sampled != want.Sampled {
+		t.Fatalf("cell header mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Spans {
+		if got.Spans[i] != want.Spans[i] {
+			t.Fatalf("span %d mismatch:\n%+v\nvs\n%+v", i, got.Spans[i], want.Spans[i])
+		}
+	}
+}
+
+// TestTraceEventSchema validates the emitted JSON against the
+// Chrome/Perfetto trace_event contract the CI smoke relies on: a
+// traceEvents array whose members carry ph/pid, with "X" events adding
+// name/ts/dur and "M" events naming processes/threads.
+func TestTraceEventSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceEvents(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Must also be plain valid JSON for Perfetto's loader.
+	var any map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &any); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any["traceEvents"]; !ok {
+		t.Fatal("no traceEvents key")
+	}
+}
+
+func TestMicrosRoundTrip(t *testing.T) {
+	for _, ns := range []int64{0, 1, 999, 1000, 123456789, -1, -999, -1000, -123456789} {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		writeMicros(bw, ns)
+		bw.Flush()
+		got, err := parseMicros(buf.String())
+		if err != nil {
+			t.Fatalf("%d -> %q: %v", ns, buf.String(), err)
+		}
+		if got != ns {
+			t.Fatalf("%d -> %q -> %d", ns, buf.String(), got)
+		}
+	}
+}
+
+// FuzzTraceEncode checks that encode->decode->encode is byte-identical
+// for arbitrary span sets, i.e. the hand-rolled encoder and the decoder
+// are exact inverses on the encoder's image.
+func FuzzTraceEncode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add([]byte("span-name-bytes\x00\"\\\né"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells := cellsFromFuzz(data)
+		var buf bytes.Buffer
+		if err := WriteFile(&buf, cells); err != nil {
+			t.Fatal(err)
+		}
+		fl, err := ReadFile(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own output failed: %v\n%s", err, buf.Bytes())
+		}
+		var buf2 bytes.Buffer
+		if err := WriteFile(&buf2, fl.Cells); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}
+
+// cellsFromFuzz deterministically expands raw fuzz bytes into one or two
+// cells of spans. Names come from the fuzz data (arbitrary bytes, forced
+// to valid UTF-8 by Go's string conversion on encode); numeric fields are
+// read little-endian.
+func cellsFromFuzz(data []byte) []*Result {
+	u64 := func(i int) uint64 {
+		var b [8]byte
+		copy(b[:], data[min(i, len(data)):])
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	nCells := 1 + int(u64(0)%2)
+	var cells []*Result
+	pos := 1
+	for c := 0; c < nCells; c++ {
+		cell := &Result{
+			Cell:    fmt.Sprintf("cell-%d", c),
+			Ops:     u64(pos) % 10000,
+			Sampled: int(u64(pos+1) % 1000),
+		}
+		nSpans := int(u64(pos+2) % 8)
+		for i := 0; i < nSpans; i++ {
+			b := pos + 3 + i*7
+			name := "s"
+			if len(data) > 0 {
+				name = string(data[b%len(data) : b%len(data)+min(4, len(data)-b%len(data))])
+			}
+			sp := Span{
+				ID:     u64(b) | 1,
+				Trace:  u64(b+1) | 1,
+				Name:   name,
+				Domain: fmt.Sprintf("d%d", u64(b+2)%3),
+				Start:  sim.Time(int64(u64(b + 3))),
+				Dur:    sim.Duration(int64(u64(b + 4))),
+			}
+			if u64(b+5)%3 == 0 {
+				sp.Parent = u64(b+5) | 1
+			}
+			if u64(b+6)%4 == 0 {
+				sp.Kind = KindFailover
+				sp.Cause = u64(b+6) | 1
+			}
+			if u64(b+6)%5 == 0 {
+				sp.Wait = sim.Duration(int64(u64(b+6)) % 1e9)
+			}
+			cell.Spans = append(cell.Spans, sp)
+			if i == 0 {
+				cell.Exemplars = append(cell.Exemplars, Exemplar{
+					Trace: sp.Trace, Root: sp.ID, Dur: sp.Dur, Cause: sp.Kind != "",
+					Path: []PathShare{{Name: name, Dur: sp.Dur, Share: float64(u64(b)%10001) / 10000}},
+				})
+			}
+		}
+		if len(cell.Exemplars) > 0 {
+			cell.CritPath = cell.Exemplars[0].Path
+		}
+		cells = append(cells, cell)
+		pos += 3 + nSpans*7
+	}
+	return cells
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

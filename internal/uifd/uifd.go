@@ -13,6 +13,7 @@ import (
 	"repro/internal/blockmq"
 	"repro/internal/qdma"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CompletionBytes is the C2H writeback size for a write acknowledgement.
@@ -27,6 +28,9 @@ type CardRequest struct {
 	Flags  uint32
 	HCtx   int
 	Tenant int
+	// Trace is the per-I/O trace context carried across PCIe with the
+	// command descriptor.
+	Trace trace.Ref
 }
 
 // CardBackend is the FPGA-side processing pipeline: placement accelerators,
@@ -131,6 +135,7 @@ func (d *Driver) QueueRq(hctx int, req *blockmq.Request) bool {
 		Flags:  req.Flags,
 		HCtx:   hctx,
 		Tenant: d.tenant,
+		Trace:  req.Trace,
 	}
 	process := func() {
 		d.backend.Process(creq, func(perr error) {
