@@ -92,6 +92,17 @@ go test -run 'Fuzz' ./internal/gf256/
 echo "== faults backoff fuzz seeds =="
 go test -run 'Fuzz' ./internal/faults/
 
+# Multi-Raft replication backend: per-PG groups run leader election, log
+# replication and snapshot catch-up inside the sim, and the replication
+# head-to-head fans hermetic cells across the runner's workers — race the
+# package plus the sweep's determinism/availability/deadline-budget gates
+# explicitly, and run the wire-codec fuzz seed corpus as plain tests.
+echo "== raft backend (race: package + replication head-to-head) =="
+go test -race -count=1 ./internal/raft/
+go test -race -count=1 -run 'TestRaftSweep|TestRaftElectionStorm' ./internal/experiments/
+echo "== raft codec fuzz seeds =="
+go test -run 'Fuzz' ./internal/raft/
+
 if [ "${1:-}" != "-short" ]; then
     # One iteration of every benchmark with allocation counts: catches
     # bit-rot in the perf harness and regressions in the zero-alloc
@@ -115,6 +126,12 @@ if [ "${1:-}" != "-short" ]; then
     # and the zero acknowledged-write-loss crash contract.
     echo "== cache tier report (BENCH_pr7.json) =="
     go run ./cmd/delibabench -quick -cachebench BENCH_pr7.json
+
+    # Replication head-to-head evidence artifact: primary-copy vs per-PG
+    # Raft availability under faults, with the strictly-higher-availability
+    # acceptance bar and serial-vs-parallel digest equality asserted.
+    echo "== replication head-to-head report (BENCH_pr9.json) =="
+    go run ./cmd/delibabench -quick -raftbench BENCH_pr9.json
 
     # Trace smoke: emit the traced sweep and validate it against the
     # Chrome/Perfetto trace_event schema with the offline tool.

@@ -13,6 +13,7 @@
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu faults scale cache
+// raft
 //
 // -parallel sets how many worker goroutines the experiment runner fans
 // sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
@@ -33,6 +34,13 @@
 // sweep plus crash-recovery scenarios), asserts the 10x p50 target on the
 // 90%-hot workload and zero acknowledged-write loss, and writes the JSON
 // artifact to the given path.
+//
+// -raftbench runs the replication head-to-head (primary-copy vs per-PG
+// multi-Raft across the fault scenario axis), asserts that the Raft
+// backend sustains strictly higher measured availability than primary-copy
+// under both the silent OSD crash and the node partition, asserts
+// serial-vs-parallel digest equality, and writes the JSON artifact to the
+// given path.
 //
 // -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
 // and checking that every run produces a bit-identical result digest, then
@@ -78,6 +86,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this path")
 	scaleBench := flag.String("scalebench", "", "run the city-scale sharding benchmark and write its JSON report to this path")
 	cacheBench := flag.String("cachebench", "", "run the write-back cache tier benchmark and write its JSON report to this path")
+	raftBench := flag.String("raftbench", "", "run the replication head-to-head benchmark and write its JSON report to this path")
 	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
 	tracePath := flag.String("trace", "", "run the per-I/O trace sweep and write a Perfetto trace_event file to this path")
 	traceSample := flag.Int("tracesample", experiments.DefaultTraceSample, "trace every Nth op on healthy cells (fault cells always trace every op)")
@@ -103,6 +112,13 @@ func main() {
 	}
 	if *cacheBench != "" {
 		if err := runCacheBench(*cacheBench, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *raftBench != "" {
+		if err := runRaftBench(*raftBench, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)
 			os.Exit(1)
 		}
@@ -413,6 +429,13 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 			return err
 		}
 		printTables(res.Table(), res.RecoveryTable())
+	}
+	if sel("raft") {
+		res, err := experiments.RaftSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table())
 	}
 	return nil
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// raftBenchReport is the -raftbench artifact: the replication head-to-head
+// grid (primary-copy vs per-PG multi-Raft across the fault scenario axis)
+// with the tentpole acceptance evidence — Raft strictly above primary-copy
+// in measured availability under both the silent OSD crash and the node
+// partition — plus serial-vs-parallel digest equality like every other
+// family.
+type raftBenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Stack  string  `json:"base_stack"`
+	WallMs float64 `json:"wall_ms"`
+
+	Digest        string `json:"digest"`
+	DigestMatches bool   `json:"digest_matches_serial"`
+
+	// AvailDelta is raft minus primary-copy availability per scenario;
+	// Target* is the acceptance evidence on the two stressed scenarios.
+	AvailDelta      map[string]float64 `json:"avail_delta_by_scenario"`
+	TargetScenarios []string           `json:"target_scenarios"`
+	TargetMet       bool               `json:"target_met_raft_above_primary"`
+
+	Cells []raftCellJSON `json:"cells"`
+}
+
+type raftCellJSON struct {
+	Repl         string  `json:"repl"`
+	Scenario     string  `json:"scenario"`
+	Ops          int     `json:"ops"`
+	Errors       int     `json:"errors"`
+	AvailPct     float64 `json:"avail_pct"`
+	OpAvailPct   float64 `json:"op_avail_pct"`
+	Stalls       uint64  `json:"write_stalls"`
+	StallTotalUs float64 `json:"stall_total_us"`
+	StallMaxUs   float64 `json:"stall_max_us"`
+	MeanUs       float64 `json:"mean_us"`
+	P99Us        float64 `json:"p99_us"`
+	P999Us       float64 `json:"p999_us"`
+	Elections    uint64  `json:"elections"`
+	Redirects    uint64  `json:"redirects"`
+	Commits      uint64  `json:"commits"`
+}
+
+// runRaftBench runs the replication head-to-head twice — at the configured
+// parallelism and serially — writes the JSON artifact, and fails if the
+// digests diverge or the availability acceptance bar is missed.
+func runRaftBench(path string, quick bool) error {
+	cfg := experiments.Full()
+	if quick {
+		cfg = experiments.Quick()
+	}
+	start := time.Now()
+	res, err := experiments.RaftSweep(cfg)
+	if err != nil {
+		return fmt.Errorf("raftbench: %w", err)
+	}
+	wall := time.Since(start)
+	prev := experiments.SetParallelism(1)
+	serial, err := experiments.RaftSweep(cfg)
+	experiments.SetParallelism(prev)
+	if err != nil {
+		return fmt.Errorf("raftbench: serial rerun: %w", err)
+	}
+	if serial.Digest() != res.Digest() {
+		return fmt.Errorf("raftbench: digest %016x (parallel) != %016x (serial) — replication sweep is nondeterministic",
+			res.Digest(), serial.Digest())
+	}
+
+	rep := raftBenchReport{
+		Schema:          "delibabench/raft-v1",
+		GoVersion:       runtime.Version(),
+		HostCPUs:        runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Stack:           "deliba-k-hw",
+		WallMs:          float64(wall.Microseconds()) / 1e3,
+		Digest:          fmt.Sprintf("%016x", res.Digest()),
+		DigestMatches:   true,
+		AvailDelta:      map[string]float64{},
+		TargetScenarios: []string{"osd-crash", "partition"},
+		TargetMet:       true,
+	}
+	for _, c := range res.Cells {
+		rep.Cells = append(rep.Cells, raftCellJSON{
+			Repl:         c.Repl.String(),
+			Scenario:     c.Scenario,
+			Ops:          c.Ops,
+			Errors:       c.Errors,
+			AvailPct:     c.TimeAvail * 100,
+			OpAvailPct:   c.OpAvail * 100,
+			Stalls:       c.Stalls,
+			StallTotalUs: float64(c.StallTotal) / 1e3,
+			StallMaxUs:   float64(c.StallMax) / 1e3,
+			MeanUs:       float64(c.Mean) / 1e3,
+			P99Us:        float64(c.P99) / 1e3,
+			P999Us:       float64(c.P999) / 1e3,
+			Elections:    c.Raft.Elections,
+			Redirects:    c.Raft.Redirects,
+			Commits:      c.Raft.Commits,
+		})
+	}
+	for _, c := range res.Cells {
+		if c.Repl != core.ReplRaft {
+			continue
+		}
+		if pc, ok := res.Cell(core.ReplPrimary, c.Scenario); ok {
+			rep.AvailDelta[c.Scenario] = c.TimeAvail - pc.TimeAvail
+		}
+	}
+	for _, scenario := range rep.TargetScenarios {
+		if rep.AvailDelta[scenario] <= 0 {
+			rep.TargetMet = false
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	printTables(res.Table())
+	fmt.Printf("raftbench: wrote %s (partition avail delta %+.4f, osd-crash %+.4f, digest %s)\n",
+		path, rep.AvailDelta["partition"], rep.AvailDelta["osd-crash"], rep.Digest)
+	if !rep.TargetMet {
+		return fmt.Errorf("raftbench: raft availability not strictly above primary-copy on every target scenario — see %s", path)
+	}
+	return nil
+}

@@ -49,12 +49,17 @@ type familyReport struct {
 	Resilience resilienceReport           `json:"resilience"`
 }
 
-// resilienceReport mirrors metrics.Resilience with stable JSON names.
+// resilienceReport mirrors metrics.Resilience with stable JSON names. The
+// stall fields are the unavailability-window accounting: how many windows
+// opened where writes could not commit, their total and longest extent.
 type resilienceReport struct {
-	Retries          uint64 `json:"retries"`
-	Failovers        uint64 `json:"failovers"`
-	DegradedReads    uint64 `json:"degraded_reads"`
-	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Retries          uint64  `json:"retries"`
+	Failovers        uint64  `json:"failovers"`
+	DegradedReads    uint64  `json:"degraded_reads"`
+	DeadlineExceeded uint64  `json:"deadline_exceeded"`
+	WriteStalls      uint64  `json:"write_stalls"`
+	StallTotalUs     float64 `json:"stall_total_us"`
+	StallMaxUs       float64 `json:"stall_max_us"`
 }
 
 // stackReport carries one named composition's stage-latency profile from
@@ -158,6 +163,13 @@ func reportFamilies() []family {
 			}
 			return res.Digest(), nil
 		}},
+		family{"raft", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.RaftSweep(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
 	)
 	return fams
 }
@@ -201,6 +213,9 @@ func writeJSONReport(path string) error {
 			Failovers:        probe.Resilience.Failovers,
 			DegradedReads:    probe.Resilience.DegradedReads,
 			DeadlineExceeded: probe.Resilience.DeadlineExceeded,
+			WriteStalls:      probe.Resilience.WriteStalls,
+			StallTotalUs:     float64(probe.Resilience.StallTotal) / 1e3,
+			StallMaxUs:       float64(probe.Resilience.StallMax) / 1e3,
 		}
 		rep.Families = append(rep.Families, fr)
 		if !fr.DigestMatches {

@@ -29,6 +29,13 @@ func stackJob(spec core.StackSpec) fio.JobSpec {
 func profileStack(spec core.StackSpec) (*fio.Result, *core.StageProfile, error) {
 	cfg := core.DefaultTestbedConfig()
 	cfg.Jitter = false
+	if spec.Replication == core.ReplRaft {
+		// The raft router fails fast with ErrNoLeader while an election is
+		// still resolving; the client retry layer is part of that protocol's
+		// contract, so arm it for the profile.
+		cfg.Resilience = core.DefaultResilienceConfig()
+		cfg.Resilience.Seed = stackJob(spec).Seed
+	}
 	tb, err := core.NewTestbed(cfg)
 	if err != nil {
 		return nil, nil, err

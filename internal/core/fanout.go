@@ -6,6 +6,7 @@ import (
 	"repro/internal/crush"
 	"repro/internal/netsim"
 	"repro/internal/rados"
+	"repro/internal/raft"
 	"repro/internal/trace"
 )
 
@@ -30,6 +31,10 @@ type Fanout struct {
 	// Trace, when non-nil, records a per-target span (issue → ack) for
 	// sampled ops, so the critical path can name the slowest replica/shard.
 	Trace *trace.Sink
+	// Raft, when non-nil, routes replicated I/O for its pool through the
+	// per-PG Raft backend (repl-raft) instead of the primary-copy fan-out;
+	// other pools and EC stripes keep the paths below.
+	Raft *raft.Router
 
 	up       []int // scratch: up members of the current acting set
 	replFree []*replOp
@@ -152,8 +157,14 @@ func (f *Fanout) upSet(acting []int) []int {
 }
 
 // WriteReplicated sends n bytes to every up member of the object's acting
-// set in parallel and completes when all acks return.
+// set in parallel and completes when all acks return. With repl-raft
+// selected the write is instead routed to the object's Raft group and
+// completes when the entry commits on a majority.
 func (f *Fanout) WriteReplicated(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	if f.Raft != nil && pool == f.Raft.Sys.Pool {
+		f.Raft.Write(obj, off, n, opts, done)
+		return
+	}
 	c := f.Cluster
 	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
 	if err != nil {
@@ -229,8 +240,13 @@ func (f *Fanout) getRead() *readOp {
 	return op
 }
 
-// ReadReplicated fetches n bytes from the acting primary.
+// ReadReplicated fetches n bytes from the acting primary — or, with
+// repl-raft selected, from the group leader under its lease.
 func (f *Fanout) ReadReplicated(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, done func(error)) {
+	if f.Raft != nil && pool == f.Raft.Sys.Pool {
+		f.Raft.Read(obj, off, n, opts, done)
+		return
+	}
 	c := f.Cluster
 	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/qdma"
 	"repro/internal/rados"
+	"repro/internal/raft"
 	"repro/internal/rbd"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -494,6 +495,9 @@ func (tb *Testbed) BuildStack(spec StackSpec) (Stack, error) {
 		if spec.EC {
 			return nil, fmt.Errorf("core: erasure coding is not supported on the split-domain testbed")
 		}
+		if spec.Replication == ReplRaft {
+			return nil, fmt.Errorf("core: repl-raft is not supported on the split-domain testbed (group state lives on the cluster shard; the router would drive it from the host domain)")
+		}
 	}
 	pool, image := tb.poolAndImage(spec.EC)
 	s := &pipelineStack{tb: tb, spec: spec, image: image, pool: pool}
@@ -518,6 +522,22 @@ func (tb *Testbed) BuildStack(spec StackSpec) (Stack, error) {
 	default:
 		if err := tb.buildNBDCard(s); err != nil {
 			return nil, err
+		}
+	}
+	if spec.Replication == ReplRaft {
+		// Route the replicated pool through the per-PG Raft backend: the
+		// fan-out engine and the software client both dispatch to a router
+		// bound to the stack's own client endpoint.
+		sys := tb.raftSystem()
+		if fan := s.fanout.Fan(); fan != nil {
+			r := raft.NewRouter(sys, fan.From)
+			r.Sink = tb.traceHost
+			fan.Raft = r
+		}
+		if cl := s.fanout.Client(); cl != nil {
+			r := raft.NewRouter(sys, cl.Host)
+			r.Sink = tb.traceHost
+			cl.Repl = r
 		}
 	}
 	return s, nil

@@ -87,8 +87,23 @@ func (r *Resilience) retryPolicy() *rados.RetryPolicy {
 // ref is re-parented into the issue (atr) so the fan-out target spans nest
 // under the attempt the critical path descends into, and retries cause-link
 // back to the attempt they replace.
-func (r *Resilience) retry(tr trace.Ref, issue func(attempt int, atr trace.Ref, done func(error)), done func(error)) {
+func (r *Resilience) retry(isWrite bool, tr trace.Ref, issue func(attempt int, atr trace.Ref, done func(error)), done func(error)) {
 	attempt := 0
+	start := r.eng.Now()
+	inner := done
+	// Write outcomes feed the counters' unavailability-window tracking: a
+	// write that exhausts its budget opens a stall window backdated to the
+	// op's start; the next committed write closes it.
+	done = func(err error) {
+		if isWrite {
+			if err == nil {
+				r.Counters.WriteOK(r.eng.Now())
+			} else {
+				r.Counters.WriteFailed(start)
+			}
+		}
+		inner(err)
+	}
 	var prevAttempt uint64
 	var try func()
 	fail := func(err error) {
@@ -157,7 +172,7 @@ func (f *Fanout) WriteReplicatedR(pool *rados.Pool, obj string, off, n int, opts
 		f.WriteReplicated(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+	f.Res.retry(true, opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
 		aopts := opts
 		aopts.Trace = atr
 		f.WriteReplicated(pool, obj, off, n, aopts, cb)
@@ -171,7 +186,7 @@ func (f *Fanout) ReadReplicatedR(pool *rados.Pool, obj string, off, n int, opts 
 		f.ReadReplicated(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(opts.Trace, func(attempt int, atr trace.Ref, cb func(error)) {
+	f.Res.retry(false, opts.Trace, func(attempt int, atr trace.Ref, cb func(error)) {
 		aopts := opts
 		aopts.Trace = atr
 		f.readReplicatedShift(pool, obj, off, n, aopts, attempt, cb)
@@ -184,7 +199,7 @@ func (f *Fanout) WriteECR(pool *rados.Pool, obj string, off, n int, opts rados.R
 		f.WriteEC(pool, obj, off, n, opts, done)
 		return
 	}
-	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+	f.Res.retry(true, opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
 		aopts := opts
 		aopts.Trace = atr
 		f.WriteEC(pool, obj, off, n, aopts, cb)
@@ -199,7 +214,7 @@ func (f *Fanout) ReadECR(pool *rados.Pool, obj string, off, n int, opts rados.Re
 		return
 	}
 	degraded := false
-	f.Res.retry(opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
+	f.Res.retry(false, opts.Trace, func(_ int, atr trace.Ref, cb func(error)) {
 		aopts := opts
 		aopts.Trace = atr
 		f.ReadEC(pool, obj, off, n, aopts, func(needDecode bool, err error) {
@@ -216,6 +231,12 @@ func (f *Fanout) ReadECR(pool *rados.Pool, obj string, off, n int, opts rados.Re
 // up member of the acting set instead of the primary, the failover path for
 // retry attempt `shift`.
 func (f *Fanout) readReplicatedShift(pool *rados.Pool, obj string, off, n int, opts rados.ReqOpts, shift int, done func(error)) {
+	if f.Raft != nil && pool == f.Raft.Sys.Pool {
+		// repl-raft: the router rotates targets itself when the leader hint
+		// goes stale; replica-shift failover belongs to primary-copy.
+		f.Raft.Read(obj, off, n, opts, done)
+		return
+	}
 	c := f.Cluster
 	acting, err := c.ActingSet(pool, c.PGOf(pool, obj))
 	if err != nil {

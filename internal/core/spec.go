@@ -90,6 +90,21 @@ const (
 	CacheLSVD
 )
 
+// ReplKind selects the replication protocol for the replicated pool.
+type ReplKind int
+
+const (
+	// ReplPrimary is Ceph's primary-copy strong-sync protocol: the writer
+	// waits for every up replica to ack (the paper's baseline and the
+	// default for every existing stack).
+	ReplPrimary ReplKind = iota
+	// ReplRaft runs one Raft group per PG (internal/raft): writes commit
+	// on a majority, reads are served locally under the leader's lease,
+	// and crashed or partitioned leaders are re-elected within the
+	// election timeout instead of stalling I/O until failure detection.
+	ReplRaft
+)
+
 func (k HostAPIKind) String() string {
 	return [...]string{"iouring", "nbd"}[k]
 }
@@ -112,6 +127,10 @@ func (k FanoutKind) String() string {
 
 func (k CacheKind) String() string {
 	return [...]string{"cache-none", "cache-lsvd"}[k]
+}
+
+func (k ReplKind) String() string {
+	return [...]string{"repl-primary", "repl-raft"}[k]
 }
 
 // StackSpec declares one stack composition. The zero value is the full
@@ -141,6 +160,11 @@ type StackSpec struct {
 	// CacheVerify enables the cache's acked-write shadow audit
 	// (crash-recovery scenarios; costs memory per distinct range).
 	CacheVerify bool
+
+	// Replication selects the replication protocol for the replicated
+	// pool: primary-copy (the default, all paper stacks) or per-PG
+	// multi-Raft (internal/raft).
+	Replication ReplKind
 
 	// --- io_uring host-API tuning (ablation knobs) ---------------------
 
@@ -198,6 +222,9 @@ func (s StackSpec) canonicalName() string {
 	if s.Cache == CacheLSVD {
 		name += "+" + s.Cache.String()
 	}
+	if s.Replication == ReplRaft {
+		name += "+" + s.Replication.String()
+	}
 	return name
 }
 
@@ -221,6 +248,16 @@ func (s StackSpec) Validate() error {
 	}
 	if s.Cache < CacheNone || s.Cache > CacheLSVD {
 		return fmt.Errorf("core: spec %q: unknown cache tier %d", s.Name, int(s.Cache))
+	}
+	if s.Replication < ReplPrimary || s.Replication > ReplRaft {
+		return fmt.Errorf("core: spec %q: unknown replication protocol %d", s.Name, int(s.Replication))
+	}
+
+	// Replication ↔ pool: Raft groups replicate whole objects through a
+	// per-PG log; EC stripes shard an object across k+m OSDs and have no
+	// single log to replicate.
+	if s.Replication == ReplRaft && s.EC {
+		return fmt.Errorf("core: spec %q: replication %v applies to the replicated pool; it cannot drive erasure-coded stripes (drop ec)", s.Name, s.Replication)
 	}
 
 	// Cache tier ↔ host API/block layer: the LSVD cache is a kernel
@@ -402,6 +439,10 @@ func (spec *StackSpec) applyToken(tok string) error {
 		spec.Cache = CacheLSVD
 	case "cache-none":
 		spec.Cache = CacheNone
+	case "repl-raft":
+		spec.Replication = ReplRaft
+	case "repl-primary":
+		spec.Replication = ReplPrimary
 	default:
 		return fmt.Errorf("core: unknown stack layer token %q", tok)
 	}

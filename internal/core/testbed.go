@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/rados"
+	"repro/internal/raft"
 	"repro/internal/rbd"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -40,6 +41,11 @@ type TestbedConfig struct {
 	// built and every stack's hot path is byte-for-byte the pre-resilience
 	// one.
 	Resilience ResilienceConfig
+	// Raft parameterizes the per-PG Raft groups backing repl-raft stacks
+	// (zero-value fields are filled from raft.DefaultConfig). It has no
+	// effect on repl-primary stacks: the Raft system is only instantiated
+	// when a repl-raft spec is built.
+	Raft raft.Config
 
 	// --- ablation knobs (zero values = the paper's configuration) ------
 
@@ -113,6 +119,10 @@ type Testbed struct {
 	// shared by every stack built on this testbed: one policy, one jitter
 	// stream, one set of counters.
 	Res *Resilience
+	// RaftSys is the per-PG multi-Raft backend over the replicated pool,
+	// created by the first repl-raft BuildStack and shared afterwards; nil
+	// on repl-primary testbeds.
+	RaftSys *raft.System
 	// Tracer, when non-nil (EnableTracing), drives per-I/O span tracing in
 	// stacks built afterwards. traceHost is the host-domain sink; on a
 	// split-domain testbed the OSDs record into their own osds-domain sink.
@@ -281,6 +291,16 @@ func (tb *Testbed) poolAndImage(ec bool) (*rados.Pool, *rbd.Image) {
 		return tb.ECPool, tb.ECImage
 	}
 	return tb.ReplPool, tb.ReplImage
+}
+
+// raftSystem returns (creating on first use) the testbed's multi-Raft
+// backend over the replicated pool.
+func (tb *Testbed) raftSystem() *raft.System {
+	if tb.RaftSys == nil {
+		tb.RaftSys = raft.NewSystem(tb.Cluster, tb.ReplPool, tb.Cfg.Raft)
+		tb.RaftSys.Sink = tb.traceHost
+	}
+	return tb.RaftSys
 }
 
 // NewStack constructs a framework stack over this testbed: the kind's

@@ -55,6 +55,9 @@ var familyProbes = map[string]familyProbe{
 	"recovery": {kind: core.StackDKHW, readPct: 70, fault: "loss-1%"},
 	"oltp":     {kind: core.StackDKSW, readPct: 70},
 	"cache":    {kind: core.StackDKHW, readPct: 50},
+	// raft probes the replication head-to-head's stressed cell: the Raft
+	// backend on its 3-node topology under the node partition.
+	"raft": {kind: core.StackDKHW, readPct: 30, fault: "partition"},
 }
 
 // FamilyProbe runs the named family's representative cell with stage
@@ -67,7 +70,9 @@ func FamilyProbe(cfg Config, name string) (FamilyProbeResult, error) {
 		return FamilyProbeResult{}, nil
 	}
 	tcfg := testbedConfig()
-	if p.fault != "" {
+	if name == "raft" {
+		tcfg = raftTestbedConfig(cfg)
+	} else if p.fault != "" {
 		tcfg.Resilience = core.DefaultResilienceConfig()
 		tcfg.Resilience.Seed = cfg.Seed
 	}
@@ -86,16 +91,38 @@ func FamilyProbe(cfg Config, name string) (FamilyProbeResult, error) {
 		if err != nil {
 			return FamilyProbeResult{}, err
 		}
+	} else if name == "raft" {
+		sp, err := core.Spec(p.kind)
+		if err != nil {
+			return FamilyProbeResult{}, err
+		}
+		sp.Replication = core.ReplRaft
+		sp.Name += "+repl-raft"
+		stack, err = tb.BuildStack(sp)
+		if err != nil {
+			return FamilyProbeResult{}, err
+		}
 	} else {
 		stack, err = tb.NewStack(p.kind, p.ec)
 		if err != nil {
 			return FamilyProbeResult{}, err
 		}
 	}
-	if plan := planByName(p.fault); plan != nil && plan.arm != nil {
+	arm := func(name string, arm func(*faults.Injector, *sim.RNG, int, int)) {
 		in := faults.NewInjector(tb.Eng, tb.Cluster, cfg.Seed)
-		rng := sim.NewRNG(planSeed(cfg.Seed, plan.name))
-		plan.arm(in, rng, len(tb.Cluster.OSDs), len(tb.Cluster.NodeHosts))
+		rng := sim.NewRNG(planSeed(cfg.Seed, name))
+		arm(in, rng, len(tb.Cluster.OSDs), len(tb.Cluster.NodeHosts))
+	}
+	if name == "raft" {
+		// The raft family's own scenario axis, not the fault sweep's: its
+		// partition is long enough (3 ms) to force elections.
+		for _, plan := range raftPlans {
+			if plan.name == p.fault && plan.arm != nil {
+				arm(plan.name, plan.arm)
+			}
+		}
+	} else if plan := planByName(p.fault); plan != nil && plan.arm != nil {
+		arm(plan.name, plan.arm)
 	}
 	res, err := fio.Run(tb.Eng, stack, fio.JobSpec{
 		Name:       "probe-" + name,
@@ -113,6 +140,11 @@ func FamilyProbe(cfg Config, name string) (FamilyProbeResult, error) {
 	}
 	if p.fault == "" && res.Errors > 0 {
 		return FamilyProbeResult{}, fmt.Errorf("experiments: probe %s: %d I/O errors", name, res.Errors)
+	}
+	if tb.Res != nil {
+		// Close any write-stall window still open at run end so the probe's
+		// stall accounting charges outages the run never recovered from.
+		tb.Res.Counters.CloseStalls(tb.Eng.Now())
 	}
 	out := FamilyProbeResult{}
 	for _, stage := range prof.Stages() {

@@ -45,6 +45,12 @@ const (
 	CrashCache
 	// RecoverCache replays the surviving log and resumes held I/O.
 	RecoverCache
+	// SilentOSD black-holes an OSD without marking it down: requests vanish
+	// instead of erroring, modelling the window before failure detection.
+	SilentOSD
+	// DetectOSD is the deferred detection of a silent failure: the OSD is
+	// finally marked down, so further requests fail fast.
+	DetectOSD
 )
 
 func (k EventKind) String() string {
@@ -69,6 +75,10 @@ func (k EventKind) String() string {
 		return "crash-cache"
 	case RecoverCache:
 		return "recover-cache"
+	case SilentOSD:
+		return "crash-silent"
+	case DetectOSD:
+		return "detect"
 	}
 	return "?"
 }
@@ -226,6 +236,34 @@ func (in *Injector) ScheduleCacheCrash(at sim.Duration, cache *lsvd.Cache, recov
 	}
 }
 
+// ScheduleCrashSilent crashes osd at offset at as an *undetected* failure:
+// the OSD black-holes requests (no errors, no completions) until the
+// cluster "detects" it grace later and marks it down, so requests fail
+// fast from then on. If downFor > 0 the OSD restarts downFor after the
+// silent failure began. grace models Ceph's monitor heartbeat window —
+// the interval where primary-copy writes stall against a dead replica
+// while a Raft group has already elected around it.
+func (in *Injector) ScheduleCrashSilent(at sim.Duration, osd int, grace, downFor sim.Duration) {
+	o := in.cluster.OSDs[osd]
+	in.record(Event{At: at, Kind: SilentOSD, Target: osd})
+	in.eng.Schedule(at, func() {
+		in.stats.Crashes++
+		o.SetSilent(true)
+	})
+	if grace > 0 && (downFor <= 0 || grace < downFor) {
+		in.record(Event{At: at + grace, Kind: DetectOSD, Target: osd})
+		in.eng.Schedule(at+grace, func() { o.SetUp(false) })
+	}
+	if downFor > 0 {
+		in.record(Event{At: at + downFor, Kind: RestartOSD, Target: osd})
+		in.eng.Schedule(at+downFor, func() {
+			in.stats.Restarts++
+			o.SetSilent(false)
+			o.SetUp(true)
+		})
+	}
+}
+
 // ScheduleSlow degrades osd's service time by factor from at for dur
 // (dur 0 = permanently).
 func (in *Injector) ScheduleSlow(at sim.Duration, osd int, factor float64, dur sim.Duration) {
@@ -257,6 +295,17 @@ func (in *Injector) ScheduleFlap(at sim.Duration, node int, dur sim.Duration) {
 	if dur > 0 {
 		in.record(Event{At: at + dur, Kind: HealLink, Target: node})
 		in.eng.Schedule(at+dur, func() { delete(in.linkDown, h) })
+	}
+}
+
+// ScheduleFlappyLink schedules count short flaps of node's link starting at
+// offset at: each flap drops traffic for flapFor, then the link heals for
+// gap before the next flap. It composes the existing flap primitive into
+// the repeated-jitter pattern that distinguishes "one bad minute" from "a
+// link that will not stay up".
+func (in *Injector) ScheduleFlappyLink(at sim.Duration, node int, flapFor, gap sim.Duration, count int) {
+	for i := 0; i < count; i++ {
+		in.ScheduleFlap(at+sim.Duration(i)*(flapFor+gap), node, flapFor)
 	}
 }
 
@@ -316,12 +365,22 @@ type Scenario struct {
 	// PartitionFor; zero disables.
 	PartitionAt  sim.Duration
 	PartitionFor sim.Duration
+
+	// FlappyAt arms a flappy link on a uniform storage node at this offset:
+	// FlappyCount flaps of FlappyFor separated by FlappyGap of calm. Zero
+	// disables. Unlike FlapMTBF's isolated one-shots, this models repeated
+	// jitter on the *same* link — the case where retry backoff and Raft
+	// election timers interact.
+	FlappyAt    sim.Duration
+	FlappyFor   sim.Duration
+	FlappyGap   sim.Duration
+	FlappyCount int
 }
 
 // Active reports whether the scenario injects any fault at all.
 func (sc Scenario) Active() bool {
 	return sc.CrashMTBF > 0 || sc.SlowMTBF > 0 || sc.LossRate > 0 ||
-		sc.FlapMTBF > 0 || sc.PartitionAt > 0
+		sc.FlapMTBF > 0 || sc.PartitionAt > 0 || sc.FlappyAt > 0
 }
 
 // fnv64 hashes the scenario name into the seed so equal seeds with
@@ -363,6 +422,10 @@ func Install(eng *sim.Engine, cluster *rados.Cluster, seed uint64, sc Scenario) 
 	}
 	if sc.PartitionAt > 0 && nNode > 0 {
 		in.SchedulePartition(sc.PartitionAt, nNode-1, sc.PartitionFor)
+	}
+	if sc.FlappyAt > 0 && sc.FlappyCount > 0 && nNode > 0 {
+		rng := sim.NewRNG(seed ^ fnv64(sc.Name+"/flappy"))
+		in.ScheduleFlappyLink(sc.FlappyAt, rng.Intn(nNode), sc.FlappyFor, sc.FlappyGap, sc.FlappyCount)
 	}
 	if sc.LossRate > 0 {
 		in.SetLossRate(sc.LossRate)

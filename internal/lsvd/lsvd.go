@@ -94,7 +94,10 @@ func (cfg *Config) validate() error {
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	Hits, Misses, Fills uint64
-	Throttles           uint64
+	// CoalescedFills counts misses that piggybacked on an identical
+	// in-flight read-around fetch instead of issuing their own.
+	CoalescedFills uint64
+	Throttles      uint64
 	Flushes             uint64 // segments flushed + recycled
 	FlushedExtents      uint64
 	FlushedBytes        uint64
@@ -152,6 +155,19 @@ type segment struct {
 type fillEnt struct {
 	off, end int64
 	seq      uint64
+}
+
+// fillKey identifies one read-around window with an in-flight backend
+// fetch; concurrent misses of the same window coalesce onto it.
+type fillKey struct {
+	off, end int64
+}
+
+// inflightFill parks the completions of coalesced misses until the one
+// backend fetch for their window lands.
+type inflightFill struct {
+	epoch   uint64
+	waiters []func(error)
 }
 
 type pendingOp struct {
@@ -225,6 +241,9 @@ type Cache struct {
 	seq uint64
 
 	fillQ []fillEnt
+	// fills tracks in-flight miss fetches by window, so QD>1 misses of
+	// the same unfilled read-around window pay one backend read, not N.
+	fills map[fillKey]*inflightFill
 
 	epoch      uint64
 	crashed    bool
@@ -255,10 +274,11 @@ func New(eng *sim.Engine, cfg Config, be Backend) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		eng: eng,
-		cfg: cfg,
-		dev: NewDevice(eng, cfg.ReadLatency, cfg.WriteLatency, cfg.BytesPerSec),
-		be:  be,
+		eng:   eng,
+		cfg:   cfg,
+		dev:   NewDevice(eng, cfg.ReadLatency, cfg.WriteLatency, cfg.BytesPerSec),
+		be:    be,
+		fills: make(map[fillKey]*inflightFill),
 	}
 	c.noop = func() {}
 	nSegs := int(cfg.LogBytes / cfg.SegmentBytes)
@@ -493,16 +513,29 @@ func (c *Cache) ReadTraced(off int64, n int, tr trace.Ref, done func(error)) {
 	if c.cfg.DiskBytes > 0 && ra1 > c.cfg.DiskBytes {
 		ra1 = c.cfg.DiskBytes
 	}
-	epoch0 := c.epoch
+	key := fillKey{off: ra0, end: ra1}
+	if f, ok := c.fills[key]; ok && f.epoch == c.epoch {
+		// The window is already being fetched: park on that fill instead
+		// of racing a duplicate backend read for the same bytes.
+		c.stats.CoalescedFills++
+		f.waiters = append(f.waiters, done)
+		return
+	}
+	f := &inflightFill{epoch: c.epoch}
+	c.fills[key] = f
 	fillDone := func(err error) {
-		if err != nil {
-			done(err)
-			return
+		if c.fills[key] == f {
+			delete(c.fills, key)
 		}
-		if epoch0 == c.epoch && !c.crashed && !c.recovering {
+		ws := f.waiters
+		f.waiters = nil
+		if err == nil && f.epoch == c.epoch && !c.crashed && !c.recovering {
 			c.fill(ra0, ra1)
 		}
-		done(nil)
+		done(err)
+		for _, w := range ws {
+			w(err)
+		}
 	}
 	if tb, ok := c.be.(TracedBackend); ok && tr.Sampled() {
 		tb.ReadMissTraced(ra0, int(ra1-ra0), tr, fillDone)

@@ -126,6 +126,70 @@ func TestMissFillsReadAround(t *testing.T) {
 	}
 }
 
+func TestMissCoalescing(t *testing.T) {
+	eng, c, be := newTestCache(t, nil)
+	// Four QD>1 reads inside one 64 KiB read-around window, all issued
+	// before the backend fetch lands: one backend read, four completions.
+	done := 0
+	for i := 0; i < 4; i++ {
+		c.Read(1<<20+int64(i)*4096, 4096, func(err error) {
+			if err != nil {
+				t.Errorf("read: %v", err)
+			}
+			done++
+		})
+	}
+	// A concurrent miss in a *different* window must not coalesce.
+	c.Read(4<<20, 4096, func(err error) { done++ })
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("completions = %d, want 5", done)
+	}
+	if be.missReads != 2 {
+		t.Fatalf("backend miss reads = %d, want 2 (one per window)", be.missReads)
+	}
+	s := c.Stats()
+	if s.CoalescedFills != 3 {
+		t.Fatalf("coalesced fills = %d, want 3", s.CoalescedFills)
+	}
+	if s.Fills != 2 {
+		t.Fatalf("fills = %d, want 2", s.Fills)
+	}
+	// The window is filled exactly once and later reads hit locally.
+	c.Read(1<<20+16<<10, 4096, func(err error) { done++ })
+	eng.Run()
+	if done != 6 || c.Stats().Hits != 1 {
+		t.Fatalf("post-fill read: done=%d hits=%d, want 6/1", done, c.Stats().Hits)
+	}
+}
+
+func TestMissCoalescingAcrossCrash(t *testing.T) {
+	eng, c, be := newTestCache(t, nil)
+	got := 0
+	c.Read(1<<20, 4096, func(err error) { got++ })
+	c.Read(1<<20+4096, 4096, func(err error) { got++ })
+	// Crash before the fetch lands: the in-flight fill is orphaned and
+	// its result must not populate the post-crash cache.
+	eng.Schedule(10*sim.Microsecond, func() {
+		c.Crash()
+		c.Recover(nil)
+	})
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("pre-crash reads completed %d, want 2", got)
+	}
+	if fills := c.Stats().Fills; fills != 0 {
+		t.Fatalf("orphaned fill populated the cache (fills=%d)", fills)
+	}
+	// A fresh miss after recovery fetches again instead of parking on
+	// the dead fill entry.
+	c.Read(1<<20, 4096, func(err error) { got++ })
+	eng.Run()
+	if got != 3 || be.missReads != 2 {
+		t.Fatalf("post-crash read: done=%d missReads=%d, want 3/2", got, be.missReads)
+	}
+}
+
 func TestWriteShadowsReadCache(t *testing.T) {
 	eng, c, _ := newTestCache(t, nil)
 	c.Read(0, 4096, func(error) {})

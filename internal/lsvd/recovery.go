@@ -38,6 +38,10 @@ func (c *Cache) Crash() {
 	c.readIdx.Reset()
 	c.readUsed = 0
 	c.fillQ = c.fillQ[:0]
+	// Orphan in-flight fills: their completions still fire (the epoch
+	// check skips the cache insert), but post-crash misses must fetch
+	// fresh rather than park on a result that predates the crash.
+	c.fills = make(map[fillKey]*inflightFill)
 	// Parked writers never acknowledged anything: replay them whole.
 	for _, op := range c.waiters {
 		if !op.queuedReplay {

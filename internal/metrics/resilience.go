@@ -1,5 +1,7 @@
 package metrics
 
+import "repro/internal/sim"
+
 // Resilience counts client-side recovery actions during a run. Experiments
 // surface these next to throughput/latency so the cost of surviving faults
 // (extra attempts, replica hops, decode work, abandoned ops) is visible,
@@ -17,9 +19,62 @@ type Resilience struct {
 	// DeadlineExceeded is the number of attempts abandoned at their
 	// per-attempt deadline.
 	DeadlineExceeded uint64
+
+	// WriteStalls counts write-unavailability windows: a window opens at
+	// the start time of the first write whose whole retry budget is
+	// exhausted, and closes when the next write commits (or at
+	// CloseStalls for a window still open at run end). StallTotal and
+	// StallMax aggregate the window lengths — 1 − StallTotal/wall is the
+	// measured write availability of the run.
+	WriteStalls uint64
+	StallTotal  sim.Duration
+	StallMax    sim.Duration
+
+	stallOpen  bool
+	stallStart sim.Time
+}
+
+// WriteFailed records a write whose retry budget was exhausted; start is
+// the time the failed operation was first issued, so the window covers the
+// whole span the writer was stalled, not just the moment it gave up.
+func (r *Resilience) WriteFailed(start sim.Time) {
+	if r.stallOpen {
+		return // an open window absorbs overlapping failures
+	}
+	r.stallOpen = true
+	r.stallStart = start
+	r.WriteStalls++
+}
+
+// WriteOK records a committed write, closing any open stall window at now.
+func (r *Resilience) WriteOK(now sim.Time) {
+	if r.stallOpen {
+		r.closeStall(now)
+	}
+}
+
+// CloseStalls closes a window still open when the run ends, so a cluster
+// that never recovered is charged up to the measurement edge.
+func (r *Resilience) CloseStalls(now sim.Time) {
+	if r.stallOpen {
+		r.closeStall(now)
+	}
+}
+
+func (r *Resilience) closeStall(now sim.Time) {
+	d := now.Sub(r.stallStart)
+	if d < 0 {
+		d = 0
+	}
+	r.StallTotal += d
+	if d > r.StallMax {
+		r.StallMax = d
+	}
+	r.stallOpen = false
 }
 
 // Any reports whether any resilience action was taken.
 func (r Resilience) Any() bool {
-	return r.Retries != 0 || r.Failovers != 0 || r.DegradedReads != 0 || r.DeadlineExceeded != 0
+	return r.Retries != 0 || r.Failovers != 0 || r.DegradedReads != 0 ||
+		r.DeadlineExceeded != 0 || r.WriteStalls != 0
 }

@@ -33,6 +33,20 @@ type RetryPolicy struct {
 	Counters *metrics.Resilience
 }
 
+// Repl is a pluggable replication protocol for one replicated pool (the
+// per-PG Raft backend in internal/raft implements it). The client routes
+// requests for the protocol's pool through it instead of the primary-copy
+// paths; every other pool is untouched. Implementations complete done from
+// fabric arrivals on the client's engine, like the client's own callbacks.
+type Repl interface {
+	// Pool returns the pool this protocol replicates.
+	Pool() *Pool
+	// Write commits n bytes at (obj, off) and completes done.
+	Write(obj string, off, n int, opts ReqOpts, done func(error))
+	// Read fetches n bytes at (obj, off) and completes done.
+	Read(obj string, off, n int, opts ReqOpts, done func(error))
+}
+
 // Client executes object operations against a Cluster using the software
 // primary-copy protocol (the Ceph baseline): the client talks to the acting
 // primary, which fans replication or erasure shards out to the other acting
@@ -56,6 +70,10 @@ type Client struct {
 	Functional bool
 	// Retry, when non-nil, arms deadlines, retries and read failover.
 	Retry *RetryPolicy
+	// Repl, when non-nil, routes requests for Repl.Pool() through an
+	// alternative replication protocol (repl-raft); other pools keep the
+	// primary-copy paths. Unsupported on a split-domain client.
+	Repl Repl
 	// TraceSink, when non-nil, receives client-side recovery spans
 	// (retry attempts, read failovers, degraded-read decodes) for sampled
 	// ops. It must belong to the client's own domain; split-domain mode
@@ -128,15 +146,22 @@ func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data [
 		}
 		return cl.writeReplicatedSplit(p, pool, obj, off, data, opts)
 	}
+	repl := cl.Repl != nil && pool == cl.Repl.Pool()
 	if cl.Retry == nil {
+		if repl {
+			return cl.replWrite(p, obj, off, len(data), opts)
+		}
 		if pool.Kind == ECPool {
 			return cl.writeEC(p, pool, obj, off, data, opts)
 		}
 		return cl.writeReplicated(p, pool, obj, off, data, opts)
 	}
-	_, err := cl.withRetry(p, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
+	_, err := cl.withRetry(p, true, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
 		aopts := opts
 		aopts.Trace = atr
+		if repl {
+			return nil, cl.replWrite(sp, obj, off, len(data), aopts)
+		}
 		if pool.Kind == ECPool {
 			return nil, cl.writeEC(sp, pool, obj, off, data, aopts)
 		}
@@ -145,13 +170,45 @@ func (cl *Client) WriteOpts(p *sim.Proc, pool *Pool, obj string, off int, data [
 	return err
 }
 
+// replWrite routes a write through the pluggable replication protocol and
+// blocks the proc until it commits. Placement is still charged here — the
+// protocol router computes PG placement just like the primary-copy path.
+func (cl *Client) replWrite(p *sim.Proc, obj string, off, n int, opts ReqOpts) error {
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	done := cl.eng().NewCompletion()
+	cl.Repl.Write(obj, off, n, opts, func(err error) { done.Complete(nil, err) })
+	_, err := p.Await(done)
+	return err
+}
+
+// replRead routes a read through the pluggable replication protocol. The
+// protocol layer is a timing/availability model over synthetic payloads, so
+// the client hands back zeros of the requested length.
+func (cl *Client) replRead(p *sim.Proc, obj string, off, n int, opts ReqOpts) ([]byte, error) {
+	if cl.PlacementCost > 0 {
+		p.Sleep(cl.PlacementCost)
+	}
+	done := cl.eng().NewCompletion()
+	cl.Repl.Read(obj, off, n, opts, func(err error) { done.Complete(nil, err) })
+	if _, err := p.Await(done); err != nil {
+		return nil, err
+	}
+	return zeroBytes(n), nil
+}
+
 // withRetry drives attempt through the retry policy. Each attempt runs in
 // its own proc so a deadline can abandon it: the attempt proc keeps running
 // to completion (the cluster may still apply the op), but nobody observes
-// its result — the same semantics as a timed-out RPC.
-func (cl *Client) withRetry(p *sim.Proc, tr trace.Ref, attempt func(sp *sim.Proc, try int, atr trace.Ref) (any, error)) (any, error) {
+// its result — the same semantics as a timed-out RPC. Write outcomes feed
+// the counters' unavailability-window tracking: a write that exhausts its
+// budget opens a stall window backdated to the op's start, the next
+// committed write closes it.
+func (cl *Client) withRetry(p *sim.Proc, isWrite bool, tr trace.Ref, attempt func(sp *sim.Proc, try int, atr trace.Ref) (any, error)) (any, error) {
 	r := cl.Retry
 	eng := cl.Cluster.Eng
+	start := eng.Now()
 	var prevAttempt uint64 // span ID of the previous attempt (cause link)
 	for try := 0; ; try++ {
 		c := eng.NewCompletion()
@@ -190,6 +247,13 @@ func (cl *Client) withRetry(p *sim.Proc, tr trace.Ref, attempt func(sp *sim.Proc
 		// completion or at deadline abandonment (the proc may run on).
 		h.End()
 		if err == nil || try >= r.MaxRetries {
+			if isWrite && r.Counters != nil {
+				if err == nil {
+					r.Counters.WriteOK(eng.Now())
+				} else {
+					r.Counters.WriteFailed(start)
+				}
+			}
 			return v, err
 		}
 		if r.Counters != nil {
@@ -385,15 +449,22 @@ func (cl *Client) ReadOpts(p *sim.Proc, pool *Pool, obj string, off, n int, opts
 		}
 		return cl.readReplicatedSplit(p, pool, obj, off, n, opts)
 	}
+	repl := cl.Repl != nil && pool == cl.Repl.Pool()
 	if cl.Retry == nil {
+		if repl {
+			return cl.replRead(p, obj, off, n, opts)
+		}
 		if pool.Kind == ECPool {
 			return cl.readEC(p, pool, obj, off, n, opts)
 		}
 		return cl.readReplicated(p, pool, obj, off, n, opts, 0)
 	}
-	v, err := cl.withRetry(p, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
+	v, err := cl.withRetry(p, false, opts.Trace, func(sp *sim.Proc, try int, atr trace.Ref) (any, error) {
 		aopts := opts
 		aopts.Trace = atr
+		if repl {
+			return cl.replRead(sp, obj, off, n, aopts)
+		}
 		if pool.Kind == ECPool {
 			return cl.readEC(sp, pool, obj, off, n, aopts)
 		}

@@ -81,6 +81,15 @@ type OSD struct {
 	lanes *sim.Resource
 	rng   *sim.RNG
 	up    bool
+	// silent marks a black-hole failure: the daemon is dead but the cluster
+	// has not detected it yet (Up() still reports true, matching the window
+	// before Ceph's monitor marks an unresponsive OSD down). A silent OSD
+	// accepts nothing and completes nothing — requests just vanish, so
+	// callers only learn via their own deadlines.
+	silent bool
+	// healthWatch, when set, fires on every liveness transition (alive =
+	// up && !silent). The Raft layer uses it to park/resume member timers.
+	healthWatch func(alive bool)
 	// slow multiplies mean service time while > 1 (fault injection models
 	// a degrading drive this way); 0 or 1 means healthy.
 	slow float64
@@ -138,10 +147,48 @@ func (o *OSD) Up() bool { return o.up }
 // have been served. Planned maintenance that lets in-flight work finish is
 // Drain.
 func (o *OSD) SetUp(up bool) {
+	was := o.Alive()
 	if !up && o.up {
 		o.crash()
 	}
 	o.up = up
+	o.notifyHealth(was)
+}
+
+// Alive reports real liveness: up and not silently failed. Up() is what the
+// cluster *believes*; Alive() is the ground truth fault injection controls.
+func (o *OSD) Alive() bool { return o.up && !o.silent }
+
+// Silent reports whether the OSD is in the undetected-failure state.
+func (o *OSD) Silent() bool { return o.silent }
+
+// SetSilent toggles the black-hole failure mode. Entering it aborts every
+// pending request WITHOUT completing its callback (the bytes are simply
+// lost, like a kernel panic before the ack hits the wire): clients discover
+// the loss only through their own attempt deadlines, which is exactly the
+// detection-delay window the availability experiments measure. Leaving it
+// restores normal service for future requests.
+func (o *OSD) SetSilent(silent bool) {
+	was := o.Alive()
+	if silent && !o.silent {
+		o.crashes++
+		for _, pd := range o.pending {
+			pd.aborted = true
+		}
+		o.pending = o.pending[:0]
+	}
+	o.silent = silent
+	o.notifyHealth(was)
+}
+
+// SetHealthWatch installs the liveness-transition callback (nil disables).
+func (o *OSD) SetHealthWatch(fn func(alive bool)) { o.healthWatch = fn }
+
+// notifyHealth fires the health watch if liveness changed from was.
+func (o *OSD) notifyHealth(was bool) {
+	if now := o.Alive(); o.healthWatch != nil && now != was {
+		o.healthWatch(now)
+	}
 }
 
 // Drain marks the OSD down gracefully: new requests are rejected but the
@@ -240,6 +287,10 @@ func (o *OSD) SubmitOpts(opts ReqOpts, op OpType, obj string, off int, data []by
 		o.eng.Schedule(0, func() {
 			done(Result{Err: fmt.Errorf("rados: osd.%d is down: %w", o.ID, ErrOSDDown)})
 		})
+		return
+	}
+	// A silent OSD black-holes the request: no error, no completion, ever.
+	if o.silent {
 		return
 	}
 	pd := &pendingOp{done: done, idx: len(o.pending)}

@@ -1,0 +1,266 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/rados"
+	"repro/internal/sim"
+)
+
+// testSystem builds a 3-node/6-OSD cluster with a size-3 replicated pool,
+// a Raft system over it, and a router bound to a client host.
+func testSystem(t *testing.T, seed uint64, mut func(*Config)) (*sim.Engine, *rados.Cluster, *System, *Router) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := netsim.NewFabric(eng, sim.Microsecond)
+	cl, err := rados.NewCluster(eng, fab, rados.ClusterConfig{
+		Nodes: 3, OSDsPerNode: 2,
+		NICBitsPerSec: 10e9,
+		NodeStack:     netsim.SoftwareStack,
+		Profile:       rados.DefaultOSDProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cl.CreateReplicatedPool("rbd", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: seed}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys := NewSystem(cl, pool, cfg)
+	client, err := fab.AddHost("client", 10e9, netsim.SoftwareStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cl, sys, NewRouter(sys, client)
+}
+
+// writeRetry issues a write and, like the real client's retry policy,
+// re-issues it after the engine drains without a completion (a black-holed
+// attempt) or after ErrNoLeader. Fails the test if tries attempts are not
+// enough.
+func writeRetry(t *testing.T, eng *sim.Engine, r *Router, obj string, tries int) {
+	t.Helper()
+	for i := 0; i < tries; i++ {
+		done, ok := false, false
+		r.Write(obj, 0, 4096, rados.ReqOpts{}, func(err error) {
+			done, ok = true, err == nil
+		})
+		eng.Run()
+		if done && ok {
+			return
+		}
+	}
+	t.Fatalf("write %q did not commit in %d attempts", obj, tries)
+}
+
+func group(t *testing.T, sys *System, obj string) *Group {
+	t.Helper()
+	g, err := sys.Group(sys.Cluster.PGOf(sys.Pool, obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func leader(t *testing.T, g *Group) *member {
+	t.Helper()
+	for _, m := range g.members {
+		if m.role == roleLeader && m.alive() {
+			return m
+		}
+	}
+	t.Fatal("group has no live leader")
+	return nil
+}
+
+func TestWriteCommitsAndLeaseReads(t *testing.T) {
+	eng, _, sys, r := testSystem(t, 1, nil)
+	writeRetry(t, eng, r, "a", 1)
+	st := sys.Stats()
+	if st.Appends < 1 || st.Commits < 1 {
+		t.Fatalf("appends=%d commits=%d, want >= 1", st.Appends, st.Commits)
+	}
+	if st.Elections != 0 {
+		t.Fatalf("healthy bootstrap ran %d elections", st.Elections)
+	}
+	// A read right after the quiesced drain finds the lease expired: it
+	// parks for a refresh round. Reads inside the refreshed lease (while
+	// heartbeat rounds keep renewing it) are served locally.
+	got := 0
+	r.Read("a", 0, 4096, rados.ReqOpts{}, func(err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got++
+	})
+	eng.Schedule(150*sim.Microsecond, func() {
+		r.Read("a", 0, 4096, rados.ReqOpts{}, func(err error) {
+			if err != nil {
+				t.Errorf("read 2: %v", err)
+			}
+			got++
+		})
+	})
+	eng.Run()
+	if got != 2 {
+		t.Fatalf("reads completed = %d, want 2", got)
+	}
+	st = sys.Stats()
+	if st.LeaseWaits < 1 {
+		t.Fatalf("lease waits = %d, want >= 1 (post-drain lease must be stale)", st.LeaseWaits)
+	}
+	if st.LeaseReads < 1 {
+		t.Fatalf("lease reads = %d, want >= 1 (in-window read must be local)", st.LeaseReads)
+	}
+}
+
+func TestElectionOnLeaderCrash(t *testing.T) {
+	eng, _, sys, r := testSystem(t, 2, nil)
+	writeRetry(t, eng, r, "a", 1)
+	g := group(t, sys, "a")
+	old := leader(t, g)
+	old.osd.SetSilent(true)
+
+	// The client's retries pump the group; a follower times out and wins.
+	writeRetry(t, eng, r, "a", 8)
+	st := sys.Stats()
+	if st.Elections < 1 || st.LeaderWins < 2 { // bootstrap counts as one win
+		t.Fatalf("elections=%d wins=%d, want election after leader crash", st.Elections, st.LeaderWins)
+	}
+	nl := leader(t, g)
+	if nl == old {
+		t.Fatal("dead leader still leads")
+	}
+}
+
+func TestMajorityLossParksThenRecovers(t *testing.T) {
+	eng, _, sys, r := testSystem(t, 3, nil)
+	writeRetry(t, eng, r, "a", 1)
+	g := group(t, sys, "a")
+	lead := leader(t, g)
+	var downs []*member
+	for _, m := range g.members {
+		if m != lead {
+			m.osd.SetSilent(true)
+			downs = append(downs, m)
+		}
+	}
+	// Without a majority the entry appends but never commits: the waiter
+	// parks, the activity window lapses, and the run drains undelivered.
+	stalledDone := false
+	r.Write("a", 0, 4096, rados.ReqOpts{}, func(err error) { stalledDone = err == nil })
+	eng.Run()
+	if stalledDone {
+		t.Fatal("write committed without a majority")
+	}
+	// Majority restored: the next committed write also releases the
+	// parked waiter (its entry is below the new commit index).
+	for _, m := range downs {
+		m.osd.SetSilent(false)
+	}
+	writeRetry(t, eng, r, "a", 8)
+	eng.Run()
+	if !stalledDone {
+		t.Fatal("parked write not released by the post-recovery commit")
+	}
+}
+
+func TestSnapshotCompactionAndCatchUp(t *testing.T) {
+	eng, _, sys, r := testSystem(t, 4, func(c *Config) { c.SnapshotEvery = 4 })
+	writeRetry(t, eng, r, "a", 1)
+	g := group(t, sys, "a")
+	lead := leader(t, g)
+	var follower *member
+	for _, m := range g.members {
+		if m != lead {
+			follower = m
+			break
+		}
+	}
+	follower.osd.SetSilent(true)
+	for i := 0; i < 12; i++ {
+		writeRetry(t, eng, r, "a", 4)
+	}
+	if st := sys.Stats(); st.Snapshots == 0 {
+		t.Fatalf("no compaction after 13 commits with SnapshotEvery=4 (commits=%d)", st.Commits)
+	}
+	if lead.log.SnapIndex() <= follower.log.LastIndex() {
+		t.Fatalf("leader snap edge %d has not passed follower tail %d",
+			lead.log.SnapIndex(), follower.log.LastIndex())
+	}
+	follower.osd.SetSilent(false)
+	for i := 0; i < 3; i++ {
+		writeRetry(t, eng, r, "a", 4)
+	}
+	st := sys.Stats()
+	if st.SnapInstalls == 0 {
+		t.Fatal("laggard behind the snapshot edge was not caught up via InstallSnapshot")
+	}
+	if fl, ll := follower.log.LastIndex(), lead.log.LastIndex(); fl != ll {
+		t.Fatalf("follower tail %d != leader tail %d after catch-up", fl, ll)
+	}
+}
+
+func TestNoLeaderFailsFast(t *testing.T) {
+	eng, _, sys, r := testSystem(t, 5, nil)
+	writeRetry(t, eng, r, "a", 1)
+	g := group(t, sys, "a")
+	// Depose everyone: all members alive, nobody leading, hints cold. The
+	// router's bounded redirect walk must fail fast with ErrNoLeader
+	// instead of spinning while the election is still hundreds of µs out.
+	for _, m := range g.members {
+		m.stopHeartbeat()
+		m.role = roleFollower
+		m.hint = -1
+	}
+	var got error
+	done := false
+	r.Write("a", 0, 4096, rados.ReqOpts{}, func(err error) { done, got = true, err })
+	eng.Run()
+	if !done {
+		t.Fatal("routed write neither failed nor completed")
+	}
+	if got != ErrNoLeader && got != nil {
+		t.Fatalf("err = %v, want ErrNoLeader (or a post-election commit)", got)
+	}
+	if got == ErrNoLeader && sys.Stats().NoLeaderErrs != 1 {
+		t.Fatalf("NoLeaderErrs = %d, want 1", sys.Stats().NoLeaderErrs)
+	}
+	// The failed op pumped the group: an election resolves and a retry
+	// commits.
+	writeRetry(t, eng, r, "a", 8)
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	run := func() (Stats, string) {
+		eng, cl, sys, r := testSystem(t, 42, nil)
+		timeline := ""
+		for i := 0; i < 20; i++ {
+			i := i
+			obj := fmt.Sprintf("o%d", i%5)
+			eng.Schedule(sim.Duration(1+i*50)*sim.Microsecond, func() {
+				r.Write(obj, 0, 4096, rados.ReqOpts{}, func(err error) {
+					timeline += fmt.Sprintf("%d:%v@%d;", i, err == nil, eng.Now())
+				})
+			})
+		}
+		eng.Schedule(200*sim.Microsecond, func() { cl.OSDs[0].SetSilent(true) })
+		eng.Schedule(1400*sim.Microsecond, func() { cl.OSDs[0].SetSilent(false) })
+		eng.Run()
+		return sys.Stats(), timeline
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverge:\n%+v\nvs\n%+v", s1, s2)
+	}
+	if t1 != t2 {
+		t.Fatalf("completion timelines diverge:\n%s\nvs\n%s", t1, t2)
+	}
+}

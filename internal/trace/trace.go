@@ -30,6 +30,7 @@ const (
 	KindFailover = "failover"
 	KindDegraded = "degraded"
 	KindFlush    = "writeback-flush"
+	KindElection = "election"
 )
 
 // Config parameterizes a per-cell Tracer.
