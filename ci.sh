@@ -103,6 +103,19 @@ go test -race -count=1 -run 'TestRaftSweep|TestRaftElectionStorm' ./internal/exp
 echo "== raft codec fuzz seeds =="
 go test -run 'Fuzz' ./internal/raft/
 
+# Multi-tenant QoS axis: the blk-mq elevators keep per-tenant state that
+# must stay engine-local (the raced replica test proves it), the SR-IOV
+# driver hashes tenants onto functions/queue sets, and the tenant sweep
+# fans hermetic cells — including the 10k-tenant fleet column on the
+# sharded ScaleCluster — across the runner's workers. Race the queueing
+# layers plus the sweep's determinism/isolation gates explicitly.
+echo "== multi-tenant QoS axis (race: blockmq + qdma + tenant sweep) =="
+go test -race -count=1 ./internal/blockmq/ ./internal/qdma/ ./internal/uifd/
+go test -race -count=1 -run 'TestTenantSweep|TestQoSScheduler' \
+    ./internal/experiments/ ./internal/blockmq/
+go test -race -count=1 -run 'TestTenant|TestRunTenants|TestQoSShapes|TestCompactHistogram|TestFairness' \
+    ./internal/metrics/ ./internal/fio/
+
 if [ "${1:-}" != "-short" ]; then
     # One iteration of every benchmark with allocation counts: catches
     # bit-rot in the perf harness and regressions in the zero-alloc
@@ -132,6 +145,13 @@ if [ "${1:-}" != "-short" ]; then
     # acceptance bar and serial-vs-parallel digest equality asserted.
     echo "== replication head-to-head report (BENCH_pr9.json) =="
     go run ./cmd/delibabench -quick -raftbench BENCH_pr9.json
+
+    # Multi-tenant QoS evidence artifact: the noisy-neighbor head-to-head
+    # (dmclock victim p99 near the isolated baseline, qos-none blown out,
+    # fairness improved) plus serial-vs-parallel digest equality at quick
+    # scale with relaxed gates; the full-scale gates run out of band.
+    echo "== multi-tenant QoS report (BENCH_pr10.quick.json) =="
+    go run ./cmd/delibabench -quick -tenantbench BENCH_pr10.quick.json
 
     # Trace smoke: emit the traced sweep and validate it against the
     # Chrome/Perfetto trace_event schema with the offline tool.

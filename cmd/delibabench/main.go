@@ -13,7 +13,7 @@
 //
 // Experiment ids: fig3 fig4 tab1 fig6 fig7 fig8 fig9 tab2 tab3 power
 // realworld headline ablations dfx buckets recovery mtu faults scale cache
-// raft
+// raft tenant
 //
 // -parallel sets how many worker goroutines the experiment runner fans
 // sweep cells out to (default: GOMAXPROCS). Results are bit-identical at
@@ -41,6 +41,14 @@
 // under both the silent OSD crash and the node partition, asserts
 // serial-vs-parallel digest equality, and writes the JSON artifact to the
 // given path.
+//
+// -tenantbench runs the multi-tenant QoS benchmark (the blk-mq scheduler
+// axis under a noisy neighbor, plus the 10 → 10,000 tenant fleet axis on
+// the sharded city-scale model), asserts that dmclock holds the victims'
+// p99 within 2x of the hog-free baseline while the unscheduled bypass
+// exceeds 5x and that dmclock's contention-window fairness beats the
+// bypass's, asserts serial-vs-parallel digest equality, and writes the
+// JSON artifact to the given path.
 //
 // -selftest repeatedly runs the quick Fig. 3 grid, timing each iteration
 // and checking that every run produces a bit-identical result digest, then
@@ -87,6 +95,7 @@ func main() {
 	scaleBench := flag.String("scalebench", "", "run the city-scale sharding benchmark and write its JSON report to this path")
 	cacheBench := flag.String("cachebench", "", "run the write-back cache tier benchmark and write its JSON report to this path")
 	raftBench := flag.String("raftbench", "", "run the replication head-to-head benchmark and write its JSON report to this path")
+	tenantBench := flag.String("tenantbench", "", "run the multi-tenant QoS benchmark and write its JSON report to this path")
 	stackSpec := flag.String("stack", "", "build one stack composition (name or layer tokens) and profile it")
 	tracePath := flag.String("trace", "", "run the per-I/O trace sweep and write a Perfetto trace_event file to this path")
 	traceSample := flag.Int("tracesample", experiments.DefaultTraceSample, "trace every Nth op on healthy cells (fault cells always trace every op)")
@@ -119,6 +128,13 @@ func main() {
 	}
 	if *raftBench != "" {
 		if err := runRaftBench(*raftBench, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "delibabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tenantBench != "" {
+		if err := runTenantBench(*tenantBench, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "delibabench:", err)
 			os.Exit(1)
 		}
@@ -428,7 +444,7 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 		if err != nil {
 			return err
 		}
-		printTables(res.Table(), res.RecoveryTable())
+		printTables(res.Table(), res.AdmissionTable(), res.RecoveryTable())
 	}
 	if sel("raft") {
 		res, err := experiments.RaftSweep(cfg)
@@ -436,6 +452,13 @@ func run(cfg experiments.Config, sel func(string) bool) error {
 			return err
 		}
 		printTables(res.Table())
+	}
+	if sel("tenant") {
+		res, err := experiments.TenantSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printTables(res.Table(), res.FleetTable())
 	}
 	return nil
 }

@@ -33,6 +33,10 @@ type benchReport struct {
 	// duration-weighted critical-path attribution (the -trace artifact in
 	// digest form).
 	Trace []traceCellReport `json:"trace"`
+	// Tenant is the quick multi-tenant QoS grid: victim p50/p99/p999 per
+	// (scheduler, scenario) cell plus Jain's fairness over contention-window
+	// service shares.
+	Tenant []tenantReport `json:"tenant"`
 }
 
 type familyReport struct {
@@ -170,8 +174,57 @@ func reportFamilies() []family {
 			}
 			return res.Digest(), nil
 		}},
+		family{"tenant", func(cfg experiments.Config) (uint64, error) {
+			res, err := experiments.TenantSweep(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Digest(), nil
+		}},
 	)
 	return fams
+}
+
+// tenantReport is the -json report's multi-tenant section: per-cell victim
+// tail latency, per-tenant p50/p99/p999 exemplar rows (the hog and the
+// hottest victim), and Jain's fairness over contention-window shares.
+type tenantReport struct {
+	QoS         string  `json:"qos"`
+	Scenario    string  `json:"scenario"`
+	Tenants     int     `json:"tenants"`
+	VictimP50Us float64 `json:"victim_p50_us"`
+	VictimP99Us float64 `json:"victim_p99_us"`
+	P999Us      float64 `json:"victim_p999_us"`
+	Fairness    float64 `json:"fairness"`
+	Throttled   uint64  `json:"sched_throttled"`
+	Blowup      float64 `json:"victim_p99_blowup"`
+}
+
+// tenantReports runs the quick tenant sweep for the -json report.
+func tenantReports(cfg experiments.Config) ([]tenantReport, error) {
+	res, err := experiments.TenantSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, _ := res.Cell(core.QoSNone, "isolated")
+	var out []tenantReport
+	for _, c := range res.Cells {
+		tr := tenantReport{
+			QoS:         c.QoS.String(),
+			Scenario:    c.Scenario,
+			Tenants:     c.Tenants,
+			VictimP50Us: float64(c.VictimP50) / 1e3,
+			VictimP99Us: float64(c.VictimP99) / 1e3,
+			P999Us:      float64(c.VictimP999) / 1e3,
+			Fairness:    c.Fairness,
+			Throttled:   c.Stats.Throttled,
+		}
+		if baseline.VictimP99 > 0 {
+			tr.Blowup = float64(c.VictimP99) / float64(baseline.VictimP99)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
 }
 
 // writeJSONReport runs the quick-scale report grid and writes it to path.
@@ -238,6 +291,11 @@ func writeJSONReport(path string) error {
 		return fmt.Errorf("json report: %w", err)
 	}
 	rep.Trace = traceCells
+	tenants, err := tenantReports(cfg)
+	if err != nil {
+		return fmt.Errorf("json report: %w", err)
+	}
+	rep.Tenant = tenants
 	rep.Kernels = append(rep.Kernels, benchEncode(), benchReconstruct(), benchMulAdd())
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// tenantBenchReport is the -tenantbench artifact: the multi-tenant QoS grid
+// (scheduler axis × noisy-neighbor scenario on the classic testbed, plus the
+// tenant-population fleet axis on the sharded city-scale model) with the
+// tentpole acceptance evidence — under a noisy neighbor the dmclock
+// scheduler holds the victims' p99 within IsolationTarget× of the hog-free
+// baseline while the unscheduled bypass blows past BlowupFloor×, and Jain's
+// fairness over contention-window service shares is strictly higher with
+// dmclock than without QoS — plus serial-vs-parallel digest equality like
+// every other family.
+type tenantBenchReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Stack   string  `json:"base_stack"`
+	Tenants int     `json:"tenants"`
+	WallMs  float64 `json:"wall_ms"`
+
+	Digest        string `json:"digest"`
+	DigestMatches bool   `json:"digest_matches_serial"`
+
+	// VictimP99Blowup is each scheduler's noisy-scenario victim p99 as a
+	// multiple of the hog-free qos-none baseline.
+	VictimP99Blowup map[string]float64 `json:"victim_p99_blowup_by_qos"`
+	// IsolationTarget / BlowupFloor are the acceptance thresholds: dmclock
+	// must stay within the former, the bypass must exceed the latter.
+	IsolationTarget float64 `json:"isolation_target_dmclock"`
+	BlowupFloor     float64 `json:"blowup_floor_none"`
+	FairnessNone    float64 `json:"fairness_noisy_none"`
+	FairnessDMClock float64 `json:"fairness_noisy_dmclock"`
+	TargetMet       bool    `json:"target_met_isolation"`
+
+	Cells []tenantCellJSON      `json:"cells"`
+	Fleet []tenantFleetCellJSON `json:"fleet"`
+}
+
+type tenantCellJSON struct {
+	QoS          string  `json:"qos"`
+	Scenario     string  `json:"scenario"`
+	Tenants      int     `json:"tenants"`
+	Ops          int     `json:"ops"`
+	VictimMeanUs float64 `json:"victim_mean_us"`
+	VictimP50Us  float64 `json:"victim_p50_us"`
+	VictimP99Us  float64 `json:"victim_p99_us"`
+	VictimP999Us float64 `json:"victim_p999_us"`
+	HogOps       uint64  `json:"hog_ops"`
+	HogP99Us     float64 `json:"hog_p99_us"`
+	Fairness     float64 `json:"fairness"`
+	Dispatched   uint64  `json:"sched_dispatched"`
+	Throttled    uint64  `json:"sched_throttled"`
+	ResPhase     uint64  `json:"sched_res_phase"`
+	WeightPhase  uint64  `json:"sched_weight_phase"`
+}
+
+type tenantFleetCellJSON struct {
+	Tenants  int     `json:"tenants"`
+	Active   int     `json:"active"`
+	Shards   int     `json:"shards"`
+	TotalOps uint64  `json:"total_ops"`
+	KIOPS    float64 `json:"kiops"`
+	MeanUs   float64 `json:"mean_us"`
+	P99Us    float64 `json:"p99_us"`
+	HotShare float64 `json:"hot_share"`
+	Fairness float64 `json:"fairness"`
+}
+
+// runTenantBench runs the multi-tenant QoS sweep twice — at the configured
+// parallelism and serially — writes the JSON artifact, and fails if the
+// digests diverge or the isolation acceptance bar is missed.
+func runTenantBench(path string, quick bool) error {
+	cfg := experiments.Full()
+	isolationTarget, blowupFloor := 2.0, 5.0
+	if quick {
+		cfg = experiments.Quick()
+		// Quick-scale runs keep the shape checks (hog bites, QoS shields)
+		// but not the full-population ratios.
+		isolationTarget, blowupFloor = 4.0, 1.0
+	}
+	start := time.Now()
+	res, err := experiments.TenantSweep(cfg)
+	if err != nil {
+		return fmt.Errorf("tenantbench: %w", err)
+	}
+	wall := time.Since(start)
+	prev := experiments.SetParallelism(1)
+	serial, err := experiments.TenantSweep(cfg)
+	experiments.SetParallelism(prev)
+	if err != nil {
+		return fmt.Errorf("tenantbench: serial rerun: %w", err)
+	}
+	if serial.Digest() != res.Digest() {
+		return fmt.Errorf("tenantbench: digest %016x (parallel) != %016x (serial) — tenant sweep is nondeterministic",
+			res.Digest(), serial.Digest())
+	}
+
+	baseline, ok := res.Cell(core.QoSNone, "isolated")
+	if !ok || baseline.VictimP99 <= 0 {
+		return fmt.Errorf("tenantbench: no usable qos-none/isolated baseline cell")
+	}
+	rep := tenantBenchReport{
+		Schema:          "delibabench/tenant-v1",
+		GoVersion:       runtime.Version(),
+		HostCPUs:        runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Stack:           "deliba-k-hw",
+		Tenants:         baseline.Tenants,
+		WallMs:          float64(wall.Microseconds()) / 1e3,
+		Digest:          fmt.Sprintf("%016x", res.Digest()),
+		DigestMatches:   true,
+		VictimP99Blowup: map[string]float64{},
+		IsolationTarget: isolationTarget,
+		BlowupFloor:     blowupFloor,
+	}
+	for _, c := range res.Cells {
+		rep.Cells = append(rep.Cells, tenantCellJSON{
+			QoS:          c.QoS.String(),
+			Scenario:     c.Scenario,
+			Tenants:      c.Tenants,
+			Ops:          c.Ops,
+			VictimMeanUs: float64(c.VictimMean) / 1e3,
+			VictimP50Us:  float64(c.VictimP50) / 1e3,
+			VictimP99Us:  float64(c.VictimP99) / 1e3,
+			VictimP999Us: float64(c.VictimP999) / 1e3,
+			HogOps:       c.HogOps,
+			HogP99Us:     float64(c.HogP99) / 1e3,
+			Fairness:     c.Fairness,
+			Dispatched:   c.Stats.Dispatched,
+			Throttled:    c.Stats.Throttled,
+			ResPhase:     c.Stats.ResPhase,
+			WeightPhase:  c.Stats.WeightPhase,
+		})
+		if c.Scenario == "noisy" {
+			rep.VictimP99Blowup[c.QoS.String()] = float64(c.VictimP99) / float64(baseline.VictimP99)
+		}
+	}
+	for _, c := range res.Fleet {
+		rep.Fleet = append(rep.Fleet, tenantFleetCellJSON{
+			Tenants:  c.Tenants,
+			Active:   c.Active,
+			Shards:   c.Shards,
+			TotalOps: c.TotalOps,
+			KIOPS:    c.KIOPS,
+			MeanUs:   float64(c.Mean) / 1e3,
+			P99Us:    float64(c.P99) / 1e3,
+			HotShare: c.HotShare,
+			Fairness: c.Fairness,
+		})
+	}
+	if none, ok := res.Cell(core.QoSNone, "noisy"); ok {
+		rep.FairnessNone = none.Fairness
+	}
+	if dmc, ok := res.Cell(core.QoSDMClock, "noisy"); ok {
+		rep.FairnessDMClock = dmc.Fairness
+	}
+	rep.TargetMet = rep.VictimP99Blowup["qos-dmclock"] > 0 &&
+		rep.VictimP99Blowup["qos-dmclock"] <= isolationTarget &&
+		rep.VictimP99Blowup["qos-none"] > blowupFloor &&
+		rep.FairnessDMClock > rep.FairnessNone
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	printTables(res.Table(), res.FleetTable())
+	fmt.Printf("tenantbench: wrote %s (victim p99 blowup: none %.2fx, tbucket %.2fx, dmclock %.2fx; fairness none %.4f -> dmclock %.4f; digest %s)\n",
+		path, rep.VictimP99Blowup["qos-none"], rep.VictimP99Blowup["qos-tbucket"],
+		rep.VictimP99Blowup["qos-dmclock"], rep.FairnessNone, rep.FairnessDMClock, rep.Digest)
+	if !rep.TargetMet {
+		return fmt.Errorf("tenantbench: isolation targets missed (dmclock %.2fx > %.1fx, or none %.2fx <= %.1fx, or fairness not improved) — see %s",
+			rep.VictimP99Blowup["qos-dmclock"], isolationTarget,
+			rep.VictimP99Blowup["qos-none"], blowupFloor, path)
+	}
+	return nil
+}

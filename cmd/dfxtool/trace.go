@@ -136,6 +136,7 @@ func traceFilter(args []string) error {
 	fs := flag.NewFlagSet("trace filter", flag.ContinueOnError)
 	cell := fs.String("cell", "", "keep cells whose label contains this substring")
 	traceID := fs.String("trace", "", "keep only spans of this 16-hex-digit trace id")
+	tenant := fs.Int("tenant", 0, "keep only ops owned by this tenant id (root spans carry the tag)")
 	out := fs.String("o", "", "write the filtered trace file here (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,15 +159,28 @@ func traceFilter(args []string) error {
 		if *cell != "" && !strings.Contains(c.Cell, *cell) {
 			continue
 		}
-		if want != 0 {
+		if want != 0 || *tenant != 0 {
+			// The tenant tag lives on the op's root span only, so first
+			// collect the trace ids the tenant owns, then keep whole trees.
+			keep := func(id uint64) bool { return want == 0 || id == want }
+			if *tenant != 0 {
+				owned := make(map[uint64]bool)
+				for _, sp := range c.Spans {
+					if sp.Tenant == *tenant {
+						owned[sp.Trace] = true
+					}
+				}
+				idOK := keep
+				keep = func(id uint64) bool { return idOK(id) && owned[id] }
+			}
 			fc := &trace.Result{Cell: c.Cell, Ops: c.Ops, Sampled: c.Sampled, CritPath: c.CritPath}
 			for _, sp := range c.Spans {
-				if sp.Trace == want {
+				if keep(sp.Trace) {
 					fc.Spans = append(fc.Spans, sp)
 				}
 			}
 			for _, ex := range c.Exemplars {
-				if ex.Trace == want {
+				if keep(ex.Trace) {
 					fc.Exemplars = append(fc.Exemplars, ex)
 				}
 			}

@@ -1,94 +1,77 @@
-// Multi-tenant example: the SR-IOV support DeLiBA-K added for the
-// industrial lab — a bare-metal tenant on the physical function and a VM
-// tenant on a virtual function share one QDMA core and card, each with its
-// own UIFD driver, queue sets, and block-layer instance.
+// Multi-tenant example: the full DeLiBA-K hardware stack shared by a
+// Zipf-skewed tenant population while tenant 1 turns noisy neighbor —
+// 256 KiB writes at QD 64 against everyone else's 4 KiB traffic. The same
+// run repeats across the blk-mq QoS axis (DESIGN.md §9.12): no scheduling,
+// a per-tenant token bucket, and dmclock with cost-normalized tags. Tenant
+// identity rides each I/O from the io_uring SQE through blk-mq, the SR-IOV
+// driver and the cluster fan-out, so one stack serves every tenant.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/blockmq"
-	"repro/internal/qdma"
-	"repro/internal/sim"
-	"repro/internal/uifd"
+	"repro/internal/core"
+	"repro/internal/fio"
 )
 
-// tenantBackend is a stand-in card pipeline with a fixed service time, so
-// the example focuses on the queueing/virtualisation machinery.
-type tenantBackend struct {
-	eng     *sim.Engine
-	latency sim.Duration
-	served  map[int]int
-}
+const tenants = 8
 
-func (b *tenantBackend) Process(req uifd.CardRequest, done func(err error)) {
-	b.served[req.Tenant]++
-	b.eng.Schedule(b.latency, func() { done(nil) })
+func run(qos core.QoSKind) (*fio.TenantResult, *core.Testbed) {
+	tb, err := core.NewTestbed(core.DefaultTestbedConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := core.Spec(core.StackDKHW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.QoS = qos
+	stack, err := tb.BuildStack(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fio.RunTenants(tb.Eng, stack, fio.TenantJob{
+		Job: fio.JobSpec{
+			Name:       "victims",
+			ReadPct:    70,
+			Pattern:    core.Rand,
+			BlockSize:  4096,
+			QueueDepth: 8,
+			Jobs:       3,
+			Ops:        600,
+			Seed:       42,
+		},
+		Tenants:      tenants,
+		TenantTheta:  0.9,
+		Hog:          1, // tenant 1 goes rogue
+		HogDepth:     64,
+		HogBlockSize: 256 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, tb
 }
 
 func main() {
-	eng := sim.NewEngine()
-	qe := qdma.New(eng, qdma.DefaultConfig())
-	backend := &tenantBackend{eng: eng, latency: 25 * sim.Microsecond, served: map[int]int{}}
-	tenancy := uifd.NewTenancy(eng, qe)
-
-	bare, err := tenancy.AddTenant(uifd.BareMetal, 3, qdma.ReplicationQueue, backend)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vm, err := tenancy.AddTenant(uifd.VirtualMachine, 2, qdma.ErasureQueue, backend)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("tenant 0: %v function, %d queue sets (%v)\n",
-		kindName(bare.Function().Kind), len(bare.QueueSets()), qdma.ReplicationQueue)
-	fmt.Printf("tenant 1: %v function, %d queue sets (%v)\n",
-		kindName(vm.Function().Kind), len(vm.QueueSets()), qdma.ErasureQueue)
-
-	mqBare, err := blockmq.New(eng, blockmq.Config{CPUs: 3, HWQueues: 3, TagsPerHW: 32, Bypass: true}, bare)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mqVM, err := blockmq.New(eng, blockmq.Config{CPUs: 2, HWQueues: 2, TagsPerHW: 32, Bypass: true}, vm)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Both tenants hammer the shared card concurrently.
-	const perTenant = 400
-	doneBare, doneVM := 0, 0
-	eng.Spawn("bare-metal", func(p *sim.Proc) {
-		for i := 0; i < perTenant; i++ {
-			mqBare.Submit(p, blockmq.OpWrite, int64(i)*4096, 4096, i%3, func(error) { doneBare++ })
-			p.Sleep(2 * sim.Microsecond)
+	fmt.Printf("multi-tenant noisy neighbor: %d tenants on deliba-k-hw, "+
+		"tenant 1 hogging with 256 KiB x QD64\n\n", tenants)
+	fmt.Printf("%-12s %12s %12s %12s %10s %10s\n",
+		"qos", "victim p50", "victim p99", "hog p99", "fairness", "throttled")
+	for _, qos := range []core.QoSKind{core.QoSNone, core.QoSTokenBucket, core.QoSDMClock} {
+		res, tb := run(qos)
+		vh := res.VictimHist()
+		var throttled uint64
+		if tb.QoSSched != nil {
+			throttled = tb.QoSSched.QoS().Throttled
 		}
-	})
-	eng.Spawn("vm", func(p *sim.Proc) {
-		for i := 0; i < perTenant; i++ {
-			mqVM.Submit(p, blockmq.OpRead, int64(i)*8192, 8192, i%2, func(error) { doneVM++ })
-			p.Sleep(3 * sim.Microsecond)
-		}
-	})
-	end := eng.Run()
-
-	fmt.Printf("\nafter %v of simulated load:\n", end)
-	fmt.Printf("  bare-metal tenant completed %d/%d writes (card saw %d)\n",
-		doneBare, perTenant, backend.served[0])
-	fmt.Printf("  VM tenant completed %d/%d reads  (card saw %d)\n",
-		doneVM, perTenant, backend.served[1])
-	tr, bytes, stalls := qe.Stats()
-	fmt.Printf("  shared QDMA core: %d transfers, %d bytes moved, %d admission stalls\n",
-		tr, bytes, stalls)
-	fmt.Printf("  queue sets allocated: %d of %d\n", qe.QueueSets(), qdma.MaxQueueSets)
-	if doneBare == perTenant && doneVM == perTenant {
-		fmt.Println("tenant isolation verified: both tenants completed all I/O on one card ✔")
+		fmt.Printf("%-12s %12v %12v %12v %10.3f %10d\n",
+			qos, vh.Percentile(50), vh.Percentile(99),
+			res.HogHist().Percentile(99), res.Fairness, throttled)
 	}
-}
-
-func kindName(k qdma.FuncKind) string {
-	if k == qdma.PF {
-		return "PF (physical)"
-	}
-	return "VF (virtual)"
+	fmt.Println("\nfairness is Jain's index over cost-normalized service shares")
+	fmt.Println("during the contention window; 1.0 = perfectly even slices.")
+	fmt.Println("dmclock charges the hog 64 units per 256 KiB op, so victims keep")
+	fmt.Println("their tail while the hog is shaped — without a stack per tenant.")
 }

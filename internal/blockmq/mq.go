@@ -58,6 +58,10 @@ type MQ struct {
 	// waiting holds requests that have a reserved place but no tag yet,
 	// per hctx, FIFO.
 	waiting [][]*Request
+	// armed is the earliest pending throttle re-kick per hctx (0 = none);
+	// it dedups the timers a throttling scheduler's ReadyAt arms so a
+	// backlog of N requests does not schedule N wakeups.
+	armed []sim.Time
 	// trace receives one "blk-mq" span per sampled request, opened at
 	// submit and closed at EndIO (nil = tracing off).
 	trace *trace.Sink
@@ -83,6 +87,7 @@ func New(eng *sim.Engine, cfg Config, driver Driver) (*MQ, error) {
 		driver:  driver,
 		latency: metrics.NewHistogram(),
 		waiting: make([][]*Request, cfg.HWQueues),
+		armed:   make([]sim.Time, cfg.HWQueues),
 	}
 	for i := 0; i < cfg.HWQueues; i++ {
 		mq.tags = append(mq.tags, newTagSet(cfg.TagsPerHW))
@@ -132,7 +137,17 @@ func (mq *MQ) SubmitAsync(op OpType, off int64, length int, flags uint32, cpu in
 // because the bypass fast path can reach the driver synchronously inside
 // this call — the request must already carry it when place() runs.
 func (mq *MQ) SubmitAsyncTraced(op OpType, off int64, length int, flags uint32, cpu int, tr trace.Ref, done func(err error)) *Request {
+	return mq.SubmitAsyncTenant(op, off, length, flags, cpu, 0, tr, done)
+}
+
+// SubmitAsyncTenant is SubmitAsyncTraced for an I/O owned by a tenant: the
+// identity rides the request into the scheduler (per-tenant QoS accounting)
+// and the driver (SR-IOV function / queue-set selection). Tenant 0 is the
+// untenanted default and leaves the request path identical to
+// SubmitAsyncTraced.
+func (mq *MQ) SubmitAsyncTenant(op OpType, off int64, length int, flags uint32, cpu, tenant int, tr trace.Ref, done func(err error)) *Request {
 	req := mq.newRequest(op, off, length, flags, cpu, done)
+	req.Tenant = tenant
 	req.Trace = tr
 	if mq.trace != nil && tr.Sampled() {
 		// Open the blk-mq span now and re-parent the carried context under
@@ -228,6 +243,11 @@ func (mq *MQ) runHW(hctx int) {
 		}
 		if req == nil {
 			mq.tags[hctx].free(tag)
+			// A throttling scheduler may be holding staged requests until
+			// tokens or tags mature; arm a deterministic wakeup for the
+			// earliest of them (completions would otherwise be the only
+			// re-kick, and an idle device never completes anything).
+			mq.armThrottle(hctx)
 			return
 		}
 		req.Tag = tag
@@ -266,6 +286,35 @@ func (mq *MQ) issue(req *Request) bool {
 	}
 	mq.stats.Dispatched++
 	return true
+}
+
+// armThrottle schedules a dispatch retry at the moment a throttling
+// scheduler says its earliest staged request for hctx becomes eligible.
+// Timers dedup on the armed slot: a wakeup is only added when it is earlier
+// than the one already pending, so the event count stays bounded by the
+// number of distinct ready instants rather than the backlog size.
+func (mq *MQ) armThrottle(hctx int) {
+	ts, ok := mq.cfg.Scheduler.(ThrottledScheduler)
+	if !ok {
+		return
+	}
+	at, ok := ts.ReadyAt(hctx)
+	if !ok {
+		return
+	}
+	if now := mq.eng.Now(); at <= now {
+		at = now.Add(sim.Nanosecond)
+	}
+	if mq.armed[hctx] != 0 && mq.armed[hctx] <= at {
+		return
+	}
+	mq.armed[hctx] = at
+	mq.eng.At(at, func() {
+		if mq.armed[hctx] == at {
+			mq.armed[hctx] = 0
+		}
+		mq.runHW(hctx)
+	})
 }
 
 // Kick restarts dispatch on all hardware contexts (used by drivers whose

@@ -53,6 +53,10 @@ type Request struct {
 	// CPU is the submitting core; it selects the software queue and, via
 	// the queue map, the hardware context.
 	CPU int
+	// Tenant identifies the owning tenant (0 = untenanted). QoS schedulers
+	// account tokens and tags per tenant, and tenant-aware drivers use it
+	// to select SR-IOV functions and queue sets.
+	Tenant int
 	// Tag is the hardware tag, assigned at dispatch (-1 before).
 	Tag int
 	// Trace is the per-I/O trace context handed to the driver (re-parented

@@ -79,13 +79,13 @@ func (cb *cardBackend) Process(req uifd.CardRequest, done func(err error)) {
 	if req.Flags&blockmq.FlagRandom != 0 {
 		pattern = Rand
 	}
-	cb.process(op, pattern, req.Off, req.Len, req.Trace, done)
+	cb.process(op, pattern, req.Off, req.Len, req.Tenant, req.Trace, done)
 }
 
 // process runs the card pipeline for one block I/O. It is also called
 // directly by the DeLiBA-2 stack, which reaches the card via its legacy DMA
 // path instead of UIFD/QDMA.
-func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, tr trace.Ref, done func(error)) {
+func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n, tenant int, tr trace.Ref, done func(error)) {
 	exts, err := cb.image.Extents(off, n)
 	if err != nil {
 		cb.eng.Schedule(0, func() { done(err) })
@@ -93,11 +93,11 @@ func (cb *cardBackend) process(op OpType, pattern Pattern, off int64, n int, tr 
 	}
 	sub := join(cb.eng, len(exts), done)
 	for _, e := range exts {
-		cb.processExtent(op, pattern, e, tr, sub)
+		cb.processExtent(op, pattern, e, tenant, tr, sub)
 	}
 }
 
-func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, tr trace.Ref, done func(error)) {
+func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, tenant int, tr trace.Ref, done func(error)) {
 	if cb.trace != nil && tr.Sampled() {
 		// The card-pipeline span contains placement, encode and fan-out;
 		// re-parent so those nest under it.
@@ -109,7 +109,7 @@ func (cb *cardBackend) processExtent(op OpType, pattern Pattern, e rbd.Extent, t
 			inner(err)
 		}
 	}
-	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
+	opts := rados.ReqOpts{Random: pattern == Rand, Tenant: tenant, Trace: tr}
 	pg := cb.fan.Cluster.PGOf(cb.pool, e.Object)
 
 	// Stage ④: the placement layer's CRUSH kernel computes the placement

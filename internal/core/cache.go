@@ -123,6 +123,7 @@ func (tb *Testbed) buildCacheTarget(s *pipelineStack, inner iouring.Target) (*ca
 	}
 	cfg.DiskBytes = s.image.Size
 	cfg.Verify = s.spec.CacheVerify
+	cfg.AdmitOnReuse = s.spec.CacheAdmit
 	be := &cacheBackend{inner: inner, client: flush, image: s.image, pool: s.pool}
 	cache, err := lsvd.New(tb.Eng, cfg, be)
 	if err != nil {

@@ -65,6 +65,17 @@ type Stack interface {
 	Close()
 }
 
+// TenantSubmitter is implemented by stacks that can attribute an I/O to a
+// tenant. SubmitTenant is Submit with the owning tenant's identity riding
+// the op through every layer — host API, block layer, transport queue
+// mapping, fan-out, and trace spans. Tenant 0 is the untenanted default and
+// must behave exactly like Submit. Workload generators probe for this
+// interface and fall back to Submit when a stack does not provide it.
+type TenantSubmitter interface {
+	Stack
+	SubmitTenant(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, done func(error))
+}
+
 // Generation labels the three framework versions.
 type Generation int
 

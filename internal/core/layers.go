@@ -34,9 +34,10 @@ import (
 
 // HostAPI is how block I/O enters the stack: DeLiBA-K's io_uring ring set
 // or the DeLiBA-1/2 NBD daemon loop. tr is the per-I/O trace context
-// (zero = unsampled) rooted by the stack before submission.
+// (zero = unsampled) rooted by the stack before submission; tenant is the
+// owning tenant (0 = untenanted) that rides the I/O down every layer.
 type HostAPI interface {
-	Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error))
+	Submit(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, tr trace.Ref, done func(error))
 	Close()
 }
 
@@ -91,8 +92,8 @@ type FanoutLayer interface {
 // uringHost adapts the shared ringSet to the HostAPI boundary.
 type uringHost struct{ rs *ringSet }
 
-func (h *uringHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
-	h.rs.submit(op, pattern, off, n, cpu, tr, done)
+func (h *uringHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, tr trace.Ref, done func(error)) {
+	h.rs.submit(op, pattern, off, n, cpu, tenant, tr, done)
 }
 
 func (h *uringHost) Close() { h.rs.close() }
@@ -104,7 +105,7 @@ type nbdDatapath interface {
 	// hostCPU is extra daemon CPU charged with the NBD path cost in one
 	// fused Resource.Use (splitting it would change contention).
 	hostCPU(op OpType, n int) sim.Duration
-	run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error
+	run(p *sim.Proc, op OpType, pattern Pattern, off int64, n, tenant int, tr trace.Ref) error
 }
 
 // nbdHost is the single-threaded NBD/user-space daemon loop shared by
@@ -118,13 +119,13 @@ type nbdHost struct {
 	path     nbdDatapath
 }
 
-func (h *nbdHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
+func (h *nbdHost) Submit(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, tr trace.Ref, done func(error)) {
 	h.tb.Eng.Spawn(h.procName, func(p *sim.Proc) {
 		// The daemon is single-threaded, so its CPU time serializes
 		// across outstanding I/Os.
 		h.daemon.Use(p, 1, h.profile.PathCost(n)+h.path.hostCPU(op, n))
 		p.Sleep(h.tb.CM.NBDSocketRTT)
-		done(h.path.run(p, op, pattern, off, n, tr))
+		done(h.path.run(p, op, pattern, off, n, tenant, tr))
 	})
 }
 
@@ -142,7 +143,7 @@ type legacyCardPath struct {
 
 func (dp *legacyCardPath) hostCPU(OpType, int) sim.Duration { return 0 }
 
-func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
+func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n, tenant int, tr trace.Ref) error {
 	// The transport span covers the full below-daemon round trip: H2C
 	// DMA, card residency, C2H DMA. Subtract the card stages to isolate
 	// the DMA path itself.
@@ -153,7 +154,7 @@ func (dp *legacyCardPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64
 	}
 	p.Sleep(dp.cm.LegacyDMACost + pcieTime(h2c))
 	err := blocking(p, func(cb func(error)) {
-		dp.backend.process(op, pattern, off, n, tr, cb)
+		dp.backend.process(op, pattern, off, n, tenant, tr, cb)
 	})
 	c2h := rados.HdrBytes
 	if op == Read {
@@ -181,8 +182,8 @@ func (dp *clientPath) hostCPU(op OpType, _ int) sim.Duration {
 	return dp.cm.D2SWLibraryWrite
 }
 
-func (dp *clientPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
-	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
+func (dp *clientPath) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n, tenant int, tr trace.Ref) error {
+	opts := rados.ReqOpts{Random: pattern == Rand, Tenant: tenant, Trace: tr}
 	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
 		endFan := dp.prof.span(StageFanout)
 		var operr error
@@ -212,9 +213,9 @@ type d1Path struct {
 
 func (dp *d1Path) hostCPU(OpType, int) sim.Duration { return 0 }
 
-func (dp *d1Path) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n int, tr trace.Ref) error {
+func (dp *d1Path) run(p *sim.Proc, op OpType, pattern Pattern, off int64, n, tenant int, tr trace.Ref) error {
 	cm := dp.tb.CM
-	opts := rados.ReqOpts{Random: pattern == Rand, Trace: tr}
+	opts := rados.ReqOpts{Random: pattern == Rand, Tenant: tenant, Trace: tr}
 	return dp.image.VisitExtents(off, n, false, func(e rbd.Extent) error {
 		// The payload crosses to the card (the storage accelerators hash
 		// over the data) and back, since D1's network path is on the
@@ -413,6 +414,14 @@ type pipelineStack struct {
 func (s *pipelineStack) Name() string { return s.spec.Name }
 
 func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu int, done func(error)) {
+	s.SubmitTenant(op, pattern, off, n, cpu, 0, done)
+}
+
+// SubmitTenant is Submit for an I/O owned by a tenant: the identity rides
+// the op through every layer (QoS scheduling, SR-IOV queue mapping,
+// per-tenant trace exemplars). Tenant 0 is the untenanted default and
+// leaves the event sequence identical to Submit.
+func (s *pipelineStack) SubmitTenant(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, done func(error)) {
 	// Root the per-I/O trace here: every op (sampled or not) advances the
 	// deterministic submit sequence the sampling policy keys on.
 	var tr trace.Ref
@@ -423,6 +432,7 @@ func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu
 		}
 		h := sink.Root(name)
 		if h.On() {
+			h.SetTenant(tenant)
 			tr = h.Ref()
 			inner := done
 			done = func(err error) {
@@ -439,7 +449,7 @@ func (s *pipelineStack) Submit(op OpType, pattern Pattern, off int64, n int, cpu
 			inner(err)
 		}
 	}
-	s.host.Submit(op, pattern, off, n, cpu, tr, done)
+	s.host.Submit(op, pattern, off, n, cpu, tenant, tr, done)
 }
 
 func (s *pipelineStack) ImageBytes() int64 { return s.image.Size }
@@ -596,6 +606,42 @@ func (tb *Testbed) buildCardSide(s *pipelineStack) (*cardBackend, error) {
 	}, nil
 }
 
+// uifdTenantVFs is the SR-IOV virtual-function pool every QDMA stack
+// provisions for tenant-attributed traffic: thousands of tenants hash onto
+// these functions' queue sets. Provisioning is pure QDMA state, so it is
+// digest-invisible until a nonzero tenant actually submits.
+const uifdTenantVFs = 8
+
+// Per-tenant QoS scheduler defaults. The classes are deliberately uniform —
+// the QoS axis measures isolation under equal entitlements, not a policy
+// control plane. Token bucket: a byte-rate cap that clips a hog's backlog
+// while leaving sparse victims untouched. dmclock: a modest guaranteed
+// reservation per tenant plus a proportional share of slack, with a limit
+// that stops one tenant from banking the whole device.
+// The rates are sized against the simulated device: a healthy 4 KiB tenant
+// bursts to roughly 10k unit/s, so the dmclock limit sits above that and
+// binds only through the cost normalization — a 64 KiB hog op charges 16
+// units (256 KiB charges 64), pulling the hog's effective op ceiling an
+// order of magnitude or two below any victim's while leaving 4 KiB traffic
+// untouched. Two effects bound how hard the limit can squeeze: below a
+// victim's burst rate the victims throttle themselves (their own p99
+// inflates), and no dispatch limit can preempt a large frame already
+// serializing on the 10 GbE wire, so victim tails retain one in-flight
+// hog-frame of head-of-line wait regardless of rate.
+const (
+	qosSchedCost  = 500 * sim.Nanosecond
+	qosTBRate     = 512 << 20 // bytes/second per tenant
+	qosTBBurst    = 1 << 20
+	qosDMCResIOPS = 2000
+	qosDMCLimIOPS = 20000
+	qosDMCWeight  = 1.0
+	// qosDMCCostBlock normalizes the dmclock IOPS terms by request size
+	// (a 256 KiB op costs 64 units), so large-block hogs cannot sidestep
+	// the limit.
+	qosDMCCostBlock = 4096
+	qosInsertCost   = 600 * sim.Nanosecond
+)
+
 // buildURingCard wires the full hardware pipeline: io_uring → DMQ → UIFD/
 // QDMA → card kernels → card NIC fan-out (DeLiBA-K's shape).
 func (tb *Testbed) buildURingCard(s *pipelineStack) error {
@@ -611,6 +657,7 @@ func (tb *Testbed) buildURingCard(s *pipelineStack) error {
 	drv, err := uifd.NewDriver(tb.Eng, qe, backend, uifd.Config{
 		HWQueues: s.spec.ringInstances(),
 		Queue:    queueKind,
+		VFs:      uifdTenantVFs,
 	})
 	if err != nil {
 		return err
@@ -627,6 +674,27 @@ func (tb *Testbed) buildURingCard(s *pipelineStack) error {
 		mqCfg.Scheduler = blockmq.NewDeadlineScheduler(tb.Eng,
 			1500*sim.Nanosecond, 5*sim.Millisecond)
 		mqCfg.InsertCost = 600 * sim.Nanosecond
+	}
+	switch s.spec.QoS {
+	case QoSTokenBucket:
+		mqCfg.Bypass = false
+		mqCfg.InsertCost = qosInsertCost
+		sched := blockmq.NewTokenBucketScheduler(tb.Eng,
+			qosSchedCost, qosTBRate, qosTBBurst)
+		mqCfg.Scheduler = sched
+		tb.QoSSched = sched
+	case QoSDMClock:
+		mqCfg.Bypass = false
+		mqCfg.InsertCost = qosInsertCost
+		sched := blockmq.NewDMClockScheduler(tb.Eng,
+			qosSchedCost, blockmq.DMClockParams{
+				ReservationIOPS: qosDMCResIOPS,
+				LimitIOPS:       qosDMCLimIOPS,
+				Weight:          qosDMCWeight,
+				CostBlock:       qosDMCCostBlock,
+			})
+		mqCfg.Scheduler = sched
+		tb.QoSSched = sched
 	}
 	mq, err := blockmq.New(tb.Eng, mqCfg, drv)
 	if err != nil {

@@ -90,6 +90,24 @@ const (
 	CacheLSVD
 )
 
+// QoSKind selects the multi-tenant QoS scheduler installed in the kernel
+// block layer. Anything but QoSNone replaces DMQ's direct bypass with a
+// per-tenant elevator: requests queue in blk-mq and a rate-control policy
+// decides dispatch order, trading the bypass's per-op latency for isolation
+// under noisy neighbors.
+type QoSKind int
+
+const (
+	// QoSNone keeps the spec's block layer untouched (bypass or deadline).
+	QoSNone QoSKind = iota
+	// QoSTokenBucket caps every tenant at an equal byte rate
+	// (blockmq.TokenBucketScheduler).
+	QoSTokenBucket
+	// QoSDMClock runs the mClock-style reservation/limit/weight scheduler
+	// (blockmq.DMClockScheduler).
+	QoSDMClock
+)
+
 // ReplKind selects the replication protocol for the replicated pool.
 type ReplKind int
 
@@ -133,6 +151,10 @@ func (k ReplKind) String() string {
 	return [...]string{"repl-primary", "repl-raft"}[k]
 }
 
+func (k QoSKind) String() string {
+	return [...]string{"qos-none", "qos-tbucket", "qos-dmclock"}[k]
+}
+
 // StackSpec declares one stack composition. The zero value is the full
 // DeLiBA-K hardware pipeline over the replicated pool.
 type StackSpec struct {
@@ -160,6 +182,15 @@ type StackSpec struct {
 	// CacheVerify enables the cache's acked-write shadow audit
 	// (crash-recovery scenarios; costs memory per distinct range).
 	CacheVerify bool
+	// CacheAdmit enables the cache's reuse-gated read admission: a window
+	// must miss twice before read-around fills the read cache, so
+	// Zipf-tail one-touch reads fetch exact bytes and never pollute it.
+	CacheAdmit bool
+
+	// QoS selects the multi-tenant block-layer scheduler. QoSNone is every
+	// paper stack's behaviour; the other kinds queue requests through a
+	// per-tenant rate-control elevator on the QDMA path.
+	QoS QoSKind
 
 	// Replication selects the replication protocol for the replicated
 	// pool: primary-copy (the default, all paper stacks) or per-PG
@@ -221,9 +252,15 @@ func (s StackSpec) canonicalName() string {
 	}
 	if s.Cache == CacheLSVD {
 		name += "+" + s.Cache.String()
+		if s.CacheAdmit {
+			name += "+cacheadmit"
+		}
 	}
 	if s.Replication == ReplRaft {
 		name += "+" + s.Replication.String()
+	}
+	if s.QoS != QoSNone {
+		name += "+" + s.QoS.String()
 	}
 	return name
 }
@@ -271,8 +308,8 @@ func (s StackSpec) Validate() error {
 			return fmt.Errorf("core: spec %q: cache tier %v requires a kernel block layer (dmq-bypass or mq-deadline), not %v", s.Name, s.Cache, s.Block)
 		}
 	}
-	if s.Cache == CacheNone && (s.CacheLogMB != 0 || s.CacheReadMB != 0 || s.CacheVerify) {
-		return fmt.Errorf("core: spec %q: cache options (cachelog/cacheread/verify) require %v", s.Name, CacheLSVD)
+	if s.Cache == CacheNone && (s.CacheLogMB != 0 || s.CacheReadMB != 0 || s.CacheVerify || s.CacheAdmit) {
+		return fmt.Errorf("core: spec %q: cache options (cachelog/cacheread/verify/cacheadmit) require %v", s.Name, CacheLSVD)
 	}
 	if s.CacheLogMB < 0 || s.CacheReadMB < 0 {
 		return fmt.Errorf("core: spec %q: negative cache size (log=%d read=%d MiB)", s.Name, s.CacheLogMB, s.CacheReadMB)
@@ -327,6 +364,21 @@ func (s StackSpec) Validate() error {
 	// neither.
 	if s.EC && s.Fanout == FanoutHostTCP && s.Placement != PlacementSoftware {
 		return errNoECInD1
+	}
+
+	// QoS ↔ block layer/transport: the QoS schedulers are blk-mq elevators
+	// driving UIFD hardware contexts; they need the io_uring + QDMA path
+	// and replace any other elevator.
+	if s.QoS < QoSNone || s.QoS > QoSDMClock {
+		return fmt.Errorf("core: spec %q: unknown QoS scheduler %d", s.Name, int(s.QoS))
+	}
+	if s.QoS != QoSNone {
+		if s.Transport != TransportQDMA {
+			return fmt.Errorf("core: spec %q: QoS %v schedules blk-mq hardware contexts and requires transport %v", s.Name, s.QoS, TransportQDMA)
+		}
+		if s.Block == BlockMQDeadline {
+			return fmt.Errorf("core: spec %q: QoS %v installs its own elevator and conflicts with block layer %v (use dmq-bypass)", s.Name, s.QoS, s.Block)
+		}
 	}
 
 	// Ring tuning is meaningless without rings.
@@ -443,6 +495,14 @@ func (spec *StackSpec) applyToken(tok string) error {
 		spec.Replication = ReplRaft
 	case "repl-primary":
 		spec.Replication = ReplPrimary
+	case "cacheadmit":
+		spec.CacheAdmit = true
+	case "qos-none":
+		spec.QoS = QoSNone
+	case "qos-tbucket":
+		spec.QoS = QoSTokenBucket
+	case "qos-dmclock":
+		spec.QoS = QoSDMClock
 	default:
 		return fmt.Errorf("core: unknown stack layer token %q", tok)
 	}

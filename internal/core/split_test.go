@@ -20,8 +20,12 @@ func splitConfig() TestbedConfig {
 // testbed over deliba-k-sw+cache-lsvd and returns an FNV digest of every
 // op's completion latency plus the group's cross-shard message count.
 func splitRunDigest(t *testing.T, seed uint64) (uint64, uint64) {
+	return splitRunDigestCfg(t, splitConfig(), seed)
+}
+
+func splitRunDigestCfg(t *testing.T, cfg TestbedConfig, seed uint64) (uint64, uint64) {
 	t.Helper()
-	tb, err := NewTestbed(splitConfig())
+	tb, err := NewTestbed(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +85,35 @@ func TestSplitDomainsSmoke(t *testing.T) {
 	}
 	if d3, _ := splitRunDigest(t, 8); d3 == d1 {
 		t.Error("digest insensitive to the workload seed")
+	}
+}
+
+// TestSplitDomainsShardSpread pins the per-node domain layout: with four
+// OSD nodes the split testbed builds four node domains round-robin over
+// the non-host shards, and because cross-domain delivery order is fixed by
+// the canonical (time, domain, sequence) merge — never by shard placement
+// — the digest is bit-identical whether those domains share one shard or
+// spread over three.
+func TestSplitDomainsShardSpread(t *testing.T) {
+	base := func(shards int) TestbedConfig {
+		cfg := splitConfig()
+		cfg.Nodes = 4
+		cfg.OSDsPerNode = 8
+		cfg.Shards = shards
+		return cfg
+	}
+	for _, seed := range []uint64{7, 11} {
+		ref, posted := splitRunDigestCfg(t, base(2), seed)
+		if posted == 0 {
+			t.Fatal("no cross-shard messages on the 2-shard layout")
+		}
+		for _, shards := range []int{3, 4} {
+			got, _ := splitRunDigestCfg(t, base(shards), seed)
+			if got != ref {
+				t.Errorf("seed %d: digest %#x on %d shards != %#x on 2 shards — shard placement leaked into event order",
+					seed, got, shards, ref)
+			}
+		}
 	}
 }
 

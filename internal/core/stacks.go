@@ -101,14 +101,14 @@ func (rs *ringSet) reap(p *sim.Proc, idx int) {
 
 // submit queues one SQE on the cpu's ring; if the SQ is momentarily full
 // it retries after a seeded-jitter backoff.
-func (rs *ringSet) submit(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, done func(error)) {
-	rs.submitBackoff(op, pattern, off, n, cpu, tr, -1, done)
+func (rs *ringSet) submit(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, tr trace.Ref, done func(error)) {
+	rs.submitBackoff(op, pattern, off, n, cpu, tenant, tr, -1, done)
 }
 
 // submitBackoff is submit carrying the first SQ-full observation time
 // (-1 = none yet), so a successful queue after backing off can record
 // one "sq-backoff" span covering the whole retry run.
-func (rs *ringSet) submitBackoff(op OpType, pattern Pattern, off int64, n int, cpu int, tr trace.Ref, backoffStart sim.Time, done func(error)) {
+func (rs *ringSet) submitBackoff(op OpType, pattern Pattern, off int64, n int, cpu, tenant int, tr trace.Ref, backoffStart sim.Time, done func(error)) {
 	idx := cpu % len(rs.rings)
 	sqe := rs.rings[idx].GetSQE()
 	if sqe == nil {
@@ -117,7 +117,7 @@ func (rs *ringSet) submitBackoff(op OpType, pattern Pattern, off int64, n int, c
 		}
 		delay := sqRetryBase + sim.Duration(rs.rng.Int63n(int64(sqRetrySpread)))
 		rs.eng.Schedule(delay, func() {
-			rs.submitBackoff(op, pattern, off, n, cpu, tr, backoffStart, done)
+			rs.submitBackoff(op, pattern, off, n, cpu, tenant, tr, backoffStart, done)
 		})
 		return
 	}
@@ -126,6 +126,7 @@ func (rs *ringSet) submitBackoff(op OpType, pattern Pattern, off int64, n int, c
 		rs.trace.Emit(tr, "sq-backoff", backoffStart, now.Sub(backoffStart), 0, "", 0)
 	}
 	sqe.Trace = tr
+	sqe.Tenant = tenant
 	sqe.Op = iouring.OpRead
 	if op == Write {
 		sqe.Op = iouring.OpWrite
@@ -212,7 +213,7 @@ func (t *dmqTarget) Submit(req iouring.Request, complete func(res int32)) {
 		// the transport itself.
 		endTrans := t.prof.span(StageTransport)
 		length := req.Len
-		t.mq.SubmitAsyncTraced(op, req.Off, int(req.Len), req.RWFlags, req.CPU, tr, func(err error) {
+		t.mq.SubmitAsyncTenant(op, req.Off, int(req.Len), req.RWFlags, req.CPU, req.Tenant, tr, func(err error) {
 			endTrans()
 			endKernel()
 			hk.End()
@@ -253,7 +254,7 @@ func (t *radosTarget) Submit(req iouring.Request, complete func(res int32)) {
 			endKernel()
 			hk.End()
 		}
-		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0, Trace: req.Trace}
+		opts := rados.ReqOpts{Random: req.RWFlags&blockmq.FlagRandom != 0, Tenant: req.Tenant, Trace: req.Trace}
 		err := t.image.VisitExtents(req.Off, int(req.Len), true, func(e rbd.Extent) error {
 			endFan := t.prof.span(StageFanout)
 			var operr error

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/blockmq"
 	"repro/internal/netsim"
 	"repro/internal/rados"
 	"repro/internal/raft"
@@ -67,14 +68,18 @@ type TestbedConfig struct {
 	Shards int
 	// SplitDomains partitions the classic testbed itself over the shard
 	// group: the client host — rings, kernel layers and the LSVD cache
-	// device — forms one topology domain on shard 0 while the OSD nodes
-	// share a second domain on shard 1, with the network propagation delay
-	// as the conservative lookahead between them. Requires Shards >= 2 and
-	// restricts the buildable stacks to host-only software-placement
-	// shapes (the card models and the resilience/fault layers drive
-	// cluster state from the host side). Event order is NOT byte-identical
-	// to the single-domain testbed — the replication protocol becomes
-	// arrival-driven — but replays bit-identically for any worker count.
+	// device — forms one topology domain on shard 0, and every OSD node
+	// gets its own topology domain, placed round-robin over shards
+	// 1..Shards-1, with the network propagation delay as the conservative
+	// lookahead between all of them. Requires Shards >= 2 and restricts
+	// the buildable stacks to host-only software-placement shapes (the
+	// card models and the resilience/fault layers drive cluster state
+	// from the host side). Event order is NOT byte-identical to the
+	// single-domain testbed — the replication protocol becomes
+	// arrival-driven, including the inter-node replica legs — but the
+	// canonical (time, domain, sequence) merge makes every run replay
+	// bit-identically for any worker count AND any shard count >= 2: the
+	// domain list depends only on Nodes, never on where the domains land.
 	SplitDomains bool
 }
 
@@ -125,9 +130,17 @@ type Testbed struct {
 	RaftSys *raft.System
 	// Tracer, when non-nil (EnableTracing), drives per-I/O span tracing in
 	// stacks built afterwards. traceHost is the host-domain sink; on a
-	// split-domain testbed the OSDs record into their own osds-domain sink.
+	// split-domain testbed each OSD node records into a sink on its own
+	// node domain.
 	Tracer    *trace.Tracer
 	traceHost *trace.Sink
+	// osdEngs, on a split-domain testbed, is the engine of each OSD node's
+	// domain in node order (nil otherwise).
+	osdEngs []*sim.Engine
+	// QoSSched, when non-nil, is the per-tenant QoS elevator installed by a
+	// qos-tbucket/qos-dmclock stack built on this testbed; experiments read
+	// its dispatch/throttle accounting after a run.
+	QoSSched blockmq.QoSReporter
 }
 
 // EnableTracing attaches a per-I/O span tracer to the testbed. It must be
@@ -142,12 +155,19 @@ func (tb *Testbed) EnableTracing(t *trace.Tracer) {
 	}
 	tb.Tracer = t
 	tb.traceHost = t.Sink(tb.Eng, "host")
-	osdSink := tb.traceHost
 	if tb.Cfg.SplitDomains {
-		osdSink = t.Sink(tb.Cluster.Eng, "osds")
-	}
-	for _, o := range tb.Cluster.OSDs {
-		o.SetTraceSink(osdSink)
+		// One sink per node domain, registered in node order so span IDs
+		// and the finalized merge order stay deterministic.
+		for n, oe := range tb.osdEngs {
+			sink := t.Sink(oe, fmt.Sprintf("osd-node%d", n))
+			for o := n * tb.Cfg.OSDsPerNode; o < (n+1)*tb.Cfg.OSDsPerNode; o++ {
+				tb.Cluster.OSDs[o].SetTraceSink(sink)
+			}
+		}
+	} else {
+		for _, o := range tb.Cluster.OSDs {
+			o.SetTraceSink(tb.traceHost)
+		}
 	}
 	if tb.Res != nil {
 		tb.Res.trace = tb.traceHost
@@ -160,9 +180,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		cm := DefaultCostModel()
 		cfg.CM = &cm
 	}
-	var eng, osdEng *sim.Engine
+	var eng *sim.Engine
 	var group *sim.Shards
-	var hostDom, osdDom sim.DomainID
+	var hostDom sim.DomainID
+	var osdDoms []sim.DomainID
+	var osdEngs []*sim.Engine
 	switch {
 	case cfg.SplitDomains:
 		if cfg.Shards < 2 {
@@ -173,7 +195,16 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		}
 		group = sim.NewShards(cfg.Shards, cfg.CM.Propagation)
 		hostDom, eng = group.AddDomainAt("host", 0)
-		osdDom, osdEng = group.AddDomainAt("osds", 1)
+		// One topology domain per OSD node, round-robin over the non-host
+		// shards. The domain list is a function of Nodes alone; shard
+		// placement only balances work, it cannot reorder the canonical
+		// cross-domain merge.
+		osdDoms = make([]sim.DomainID, cfg.Nodes)
+		osdEngs = make([]*sim.Engine, cfg.Nodes)
+		for n := 0; n < cfg.Nodes; n++ {
+			osdDoms[n], osdEngs[n] = group.AddDomainAt(
+				fmt.Sprintf("osd-node%d", n), 1+n%(cfg.Shards-1))
+		}
 	case cfg.Shards > 1:
 		group = sim.NewShards(cfg.Shards, cfg.CM.Propagation)
 		_, eng = group.AddDomainAt("testbed", 0)
@@ -184,10 +215,14 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	// (per-OSD queues plus in-flight fabric messages) so benchmark runs never
 	// grow the heap on the hot path.
 	clusterEng := eng
-	if osdEng != nil {
-		clusterEng = osdEng
+	if osdEngs != nil {
+		clusterEng = osdEngs[0]
+		for _, oe := range osdEngs {
+			oe.Reserve(cfg.OSDsPerNode*64 + 2048)
+		}
+	} else {
+		clusterEng.Reserve(cfg.Nodes*cfg.OSDsPerNode*64 + 4096)
 	}
-	clusterEng.Reserve(cfg.Nodes*cfg.OSDsPerNode*64 + 4096)
 	fabric := netsim.NewFabric(eng, cfg.CM.Propagation)
 	if cfg.SplitDomains {
 		fabric.Shard(group, hostDom)
@@ -205,15 +240,16 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	} else {
 		ccfg.NewStore = func() rados.ObjectStore { return rados.NewNullStore() }
 	}
+	ccfg.NodeEngines = osdEngs
 	cluster, err := rados.NewCluster(clusterEng, fabric, ccfg)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.SplitDomains {
 		// The cluster added its node hosts under the fabric's default (host)
-		// domain; pin them to the OSD domain before anything runs.
-		for _, h := range cluster.NodeHosts {
-			fabric.PlaceHost(h, osdDom, osdEng)
+		// domain; pin each to its node's own domain before anything runs.
+		for n, h := range cluster.NodeHosts {
+			fabric.PlaceHost(h, osdDoms[n], osdEngs[n])
 		}
 	}
 	repl, err := cluster.CreateReplicatedPool("rbd", cfg.ReplicaSize, cfg.PGs)
@@ -243,6 +279,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		ECPool:    ec,
 		ReplImage: replImg,
 		ECImage:   ecImg,
+		osdEngs:   osdEngs,
 	}
 	if cfg.Resilience.Enabled {
 		tb.Res = newResilience(eng, cfg.Resilience)

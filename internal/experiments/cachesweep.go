@@ -83,6 +83,21 @@ type CachePoint struct {
 	Backlog int
 }
 
+// CacheAdmitPoint is one side of the admission head-to-head: the Zipf-tail
+// pollution workload on a deliberately small read cache, with read-around
+// fill either unconditional or reuse-gated.
+type CacheAdmitPoint struct {
+	Admit     bool
+	P50, P99  sim.Duration
+	HitRatio  float64
+	Fills     uint64
+	Evictions uint64
+	// Bypassed / Reuses are the admission filter's own counters (0 when
+	// Admit is false).
+	Bypassed uint64
+	Reuses   uint64
+}
+
 // CacheRecoveryPoint is one crash-recovery scenario outcome.
 type CacheRecoveryPoint struct {
 	Seed       uint64
@@ -97,9 +112,10 @@ type CacheRecoveryPoint struct {
 
 // CacheSweepResult is the full cache tier evaluation.
 type CacheSweepResult struct {
-	Base     string
-	Points   []CachePoint
-	Recovery []CacheRecoveryPoint
+	Base      string
+	Points    []CachePoint
+	Admission []CacheAdmitPoint
+	Recovery  []CacheRecoveryPoint
 }
 
 // CacheSweep runs the hit-rate grid and the crash-recovery scenarios on
@@ -122,6 +138,12 @@ func CacheSweep(cfg Config) (*CacheSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	admission, err := RunCells(2, func(i int) (CacheAdmitPoint, error) {
+		return runCacheAdmitCell(cfg, base, i == 1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	seeds := []uint64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2}
 	recovery, err := RunCells(len(seeds), func(i int) (CacheRecoveryPoint, error) {
 		return runCacheRecoveryCell(cfg, base, seeds[i])
@@ -129,7 +151,61 @@ func CacheSweep(cfg Config) (*CacheSweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CacheSweepResult{Base: base, Points: points, Recovery: recovery}, nil
+	return &CacheSweepResult{Base: base, Points: points, Admission: admission, Recovery: recovery}, nil
+}
+
+// runCacheAdmitCell measures read-cache pollution under a Zipf(0.99) read
+// stream whose tail is mostly one-touch: a hot head that fits the (small)
+// read cache plus a long cold tail. Unconditional read-around fill lets
+// every tail miss displace hot windows; the reuse gate admits only windows
+// the ghost set has seen twice.
+func runCacheAdmitCell(cfg Config, base string, admit bool) (CacheAdmitPoint, error) {
+	tb, err := core.NewTestbed(testbedConfig())
+	if err != nil {
+		return CacheAdmitPoint{}, err
+	}
+	spec := fmt.Sprintf("%s+cache-lsvd+cachelog=64+cacheread=4", base)
+	if admit {
+		spec += "+cacheadmit"
+	}
+	sp, err := core.ParseStackSpec(spec)
+	if err != nil {
+		return CacheAdmitPoint{}, err
+	}
+	stack, err := tb.BuildStack(sp)
+	if err != nil {
+		return CacheAdmitPoint{}, err
+	}
+	res, err := fio.Run(tb.Eng, stack, fio.JobSpec{
+		Name:        fmt.Sprintf("cache-admit-%v", admit),
+		ReadPct:     100,
+		Pattern:     core.Rand,
+		ZipfTheta:   0.99,
+		OffsetRange: 1 << 30,
+		BlockSize:   4096,
+		QueueDepth:  cfg.QueueDepth,
+		Jobs:        cfg.Jobs,
+		Ops:         cfg.Ops,
+		RampOps:     cfg.RampOps,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return CacheAdmitPoint{}, err
+	}
+	if res.Errors > 0 {
+		return CacheAdmitPoint{}, fmt.Errorf("experiments: cache admit cell %v: %d I/O errors", admit, res.Errors)
+	}
+	st := core.CacheOf(stack).Stats()
+	return CacheAdmitPoint{
+		Admit:     admit,
+		P50:       res.Lat.Median(),
+		P99:       res.Lat.Percentile(99),
+		HitRatio:  st.HitRatio(),
+		Fills:     st.Fills,
+		Evictions: st.Evictions,
+		Bypassed:  st.AdmitBypassed,
+		Reuses:    st.AdmitReuses,
+	}, nil
 }
 
 // cacheSpec renders the stack spec string for one cell.
@@ -267,12 +343,32 @@ func (r *CacheSweepResult) Digest() uint64 {
 			p.Base, p.Workload, p.CacheMB, int64(p.P50), int64(p.P99),
 			p.HitRatio, p.Hits, p.Misses, p.Flushes, p.Backlog)
 	}
+	for _, a := range r.Admission {
+		fmt.Fprintf(h, "adm|%v|%d|%d|%.9g|%d|%d|%d|%d\n",
+			a.Admit, int64(a.P50), int64(a.P99), a.HitRatio,
+			a.Fills, a.Evictions, a.Bypassed, a.Reuses)
+	}
 	for _, rec := range r.Recovery {
 		fmt.Fprintf(h, "rec|%d|%d|%d|%d|%d|%d\n",
 			rec.Seed, rec.Ops, rec.Replays, rec.Recoveries, rec.LostAcked,
 			int64(rec.RecoveryTime))
 	}
 	return h.Sum64()
+}
+
+// AdmissionTable renders the reuse-gated admission head-to-head.
+func (r *CacheSweepResult) AdmissionTable() *metrics.Table {
+	t := metrics.NewTable("Read-cache admission under Zipf-tail pollution (4 MiB read cache, 1 GiB range)",
+		"admission", "p50 µs", "p99 µs", "hit ratio", "fills", "evictions", "bypassed", "promoted")
+	for _, a := range r.Admission {
+		mode := "fill-always"
+		if a.Admit {
+			mode = "reuse-gated"
+		}
+		t.AddRow(mode, us(a.P50), us(a.P99), fmt.Sprintf("%.1f%%", a.HitRatio*100),
+			a.Fills, a.Evictions, a.Bypassed, a.Reuses)
+	}
+	return t
 }
 
 // Table renders the hit-rate sweep.

@@ -71,7 +71,29 @@ func TestCacheSweepQuick(t *testing.T) {
 		}
 	}
 
-	if res.Table() == nil || res.RecoveryTable() == nil {
+	if len(res.Admission) != 2 {
+		t.Fatalf("admission head-to-head has %d cells, want 2", len(res.Admission))
+	}
+	always, gated := res.Admission[0], res.Admission[1]
+	if always.Admit || !gated.Admit {
+		t.Fatalf("admission cells out of order: %+v / %+v", always, gated)
+	}
+	if gated.Bypassed == 0 {
+		t.Error("reuse gate never bypassed a first-touch miss")
+	}
+	if always.Bypassed != 0 || always.Reuses != 0 {
+		t.Errorf("fill-always cell reports admission counters: %+v", always)
+	}
+	if gated.Evictions >= always.Evictions {
+		t.Errorf("reuse gate did not cut evictions: %d gated vs %d always",
+			gated.Evictions, always.Evictions)
+	}
+	if gated.HitRatio < always.HitRatio {
+		t.Errorf("reuse gate lowered hit ratio: %.3f gated vs %.3f always",
+			gated.HitRatio, always.HitRatio)
+	}
+
+	if res.Table() == nil || res.AdmissionTable() == nil || res.RecoveryTable() == nil {
 		t.Error("tables did not render")
 	}
 }

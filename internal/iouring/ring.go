@@ -75,6 +75,10 @@ type SQE struct {
 	// real SQE's rw_flags field.
 	RWFlags  uint32
 	UserData uint64
+	// Tenant identifies the owning tenant (0 = untenanted); it rides the
+	// SQE into the kernel so QoS schedulers and SR-IOV queue mapping can
+	// account the I/O to its owner.
+	Tenant int
 	// Trace is the per-I/O trace context riding on this SQE (zero when
 	// the op is unsampled or tracing is off).
 	Trace trace.Ref
@@ -132,6 +136,8 @@ type Request struct {
 	Registered bool
 	// CPU is the core this request was submitted from (set from the ring).
 	CPU int
+	// Tenant is the owning tenant copied from the SQE (0 = untenanted).
+	Tenant int
 	// Trace is the per-I/O trace context copied from the SQE.
 	Trace trace.Ref
 }
@@ -502,6 +508,7 @@ func (r *Ring) dispatchCB(sqe SQE, after func(res int32)) {
 		RWFlags:    sqe.RWFlags,
 		Registered: sqe.BufIndex >= 0,
 		CPU:        r.params.CPU,
+		Tenant:     sqe.Tenant,
 		Trace:      sqe.Trace,
 	}
 	userData := sqe.UserData

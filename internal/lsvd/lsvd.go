@@ -49,6 +49,16 @@ type Config struct {
 	ReadAround     int64 // miss fill window alignment (0 = exact)
 	DiskBytes      int64 // virtual disk size; clamps read-around (0 = unbounded)
 
+	// AdmitOnReuse gates read-cache admission on reuse: the first miss on
+	// a read-around window fetches only the requested bytes and skips the
+	// fill, leaving a ghost mark; a repeat miss on the same window while
+	// the mark is live admits with the full read-around fill. Zipf-tail
+	// one-touch reads then never displace the hot set.
+	AdmitOnReuse bool
+	// GhostWindows bounds the ghost recency set in windows (0 = four
+	// times the windows the read cache can hold).
+	GhostWindows int
+
 	// Verify tracks acknowledged writes in a shadow index and audits
 	// them against the recovered state after a crash (test/scenario
 	// mode; costs memory proportional to distinct written ranges).
@@ -97,22 +107,27 @@ type Stats struct {
 	// CoalescedFills counts misses that piggybacked on an identical
 	// in-flight read-around fetch instead of issuing their own.
 	CoalescedFills uint64
+	// AdmitBypassed / AdmitReuses split misses under AdmitOnReuse:
+	// first-touch misses that fetched exact bytes without filling, and
+	// repeat misses the ghost set promoted to a full read-around fill.
+	AdmitBypassed  uint64
+	AdmitReuses    uint64
 	Throttles      uint64
-	Flushes             uint64 // segments flushed + recycled
-	FlushedExtents      uint64
-	FlushedBytes        uint64
-	Appends             uint64
-	AppendedBytes       uint64
-	Evictions           uint64
-	Recoveries          uint64
-	Replays             uint64 // ops re-queued across a crash
-	LostAcked           int64  // acked bytes missing after recovery (Verify)
-	RecoveryTime        sim.Duration
-	FlushBacklog        int   // sealed segments awaiting flush
-	LogUsedBytes        int64 // bytes in non-free segments
-	ReadCacheUsed       int64
-	DeviceReads         uint64
-	DeviceWrites        uint64
+	Flushes        uint64 // segments flushed + recycled
+	FlushedExtents uint64
+	FlushedBytes   uint64
+	Appends        uint64
+	AppendedBytes  uint64
+	Evictions      uint64
+	Recoveries     uint64
+	Replays        uint64 // ops re-queued across a crash
+	LostAcked      int64  // acked bytes missing after recovery (Verify)
+	RecoveryTime   sim.Duration
+	FlushBacklog   int   // sealed segments awaiting flush
+	LogUsedBytes   int64 // bytes in non-free segments
+	ReadCacheUsed  int64
+	DeviceReads    uint64
+	DeviceWrites   uint64
 }
 
 // HitRatio returns hits / (hits + misses), or 0 with no reads.
@@ -244,6 +259,13 @@ type Cache struct {
 	// fills tracks in-flight miss fetches by window, so QD>1 misses of
 	// the same unfilled read-around window pay one backend read, not N.
 	fills map[fillKey]*inflightFill
+	// ghost is the AdmitOnReuse first-touch set (window base offsets),
+	// FIFO-bounded by ghostQ at ghostCap entries. Membership is only ever
+	// mutated from the owning engine's loop; iteration order never
+	// matters, so the map is determinism-safe.
+	ghost    map[int64]bool
+	ghostQ   []int64
+	ghostCap int
 
 	epoch      uint64
 	crashed    bool
@@ -281,6 +303,20 @@ func New(eng *sim.Engine, cfg Config, be Backend) (*Cache, error) {
 		fills: make(map[fillKey]*inflightFill),
 	}
 	c.noop = func() {}
+	if cfg.AdmitOnReuse {
+		c.ghost = make(map[int64]bool)
+		c.ghostCap = cfg.GhostWindows
+		if c.ghostCap <= 0 {
+			ra := cfg.ReadAround
+			if ra <= 0 {
+				ra = 4096
+			}
+			c.ghostCap = int(cfg.ReadCacheBytes / ra * 4)
+			if c.ghostCap < 64 {
+				c.ghostCap = 64
+			}
+		}
+	}
 	nSegs := int(cfg.LogBytes / cfg.SegmentBytes)
 	for i := 0; i < nSegs; i++ {
 		c.segs = append(c.segs, &segment{id: i, state: segFree})
@@ -513,6 +549,24 @@ func (c *Cache) ReadTraced(off int64, n int, tr trace.Ref, done func(error)) {
 	if c.cfg.DiskBytes > 0 && ra1 > c.cfg.DiskBytes {
 		ra1 = c.cfg.DiskBytes
 	}
+	admit := true
+	if c.ghost != nil {
+		if c.ghost[ra0] {
+			c.stats.AdmitReuses++
+		} else {
+			// First touch: remember the window, fetch only the requested
+			// bytes, and leave the read cache alone.
+			c.ghost[ra0] = true
+			c.ghostQ = append(c.ghostQ, ra0)
+			if len(c.ghostQ) > c.ghostCap {
+				delete(c.ghost, c.ghostQ[0])
+				c.ghostQ = c.ghostQ[:copy(c.ghostQ, c.ghostQ[1:])]
+			}
+			c.stats.AdmitBypassed++
+			admit = false
+			ra0, ra1 = off, end
+		}
+	}
 	key := fillKey{off: ra0, end: ra1}
 	if f, ok := c.fills[key]; ok && f.epoch == c.epoch {
 		// The window is already being fetched: park on that fill instead
@@ -529,7 +583,7 @@ func (c *Cache) ReadTraced(off int64, n int, tr trace.Ref, done func(error)) {
 		}
 		ws := f.waiters
 		f.waiters = nil
-		if err == nil && f.epoch == c.epoch && !c.crashed && !c.recovering {
+		if err == nil && admit && f.epoch == c.epoch && !c.crashed && !c.recovering {
 			c.fill(ra0, ra1)
 		}
 		done(err)

@@ -126,6 +126,69 @@ func TestMissFillsReadAround(t *testing.T) {
 	}
 }
 
+func TestAdmitOnReuse(t *testing.T) {
+	eng, c, be := newTestCache(t, func(cfg *Config) { cfg.AdmitOnReuse = true })
+	done := 0
+	// First touch: exact-byte fetch, no fill, no cache occupancy.
+	c.Read(1<<20, 4096, func(err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		done++
+	})
+	eng.Run()
+	if be.missBytes != 4096 {
+		t.Fatalf("first-touch miss fetched %d bytes, want exact 4096", be.missBytes)
+	}
+	s := c.Stats()
+	if s.Fills != 0 || s.AdmitBypassed != 1 || s.ReadCacheUsed != 0 {
+		t.Fatalf("first touch: fills=%d bypassed=%d cached=%d, want 0/1/0",
+			s.Fills, s.AdmitBypassed, s.ReadCacheUsed)
+	}
+	// Second miss in the same window: ghost hit promotes to a full
+	// read-around fill.
+	c.Read(1<<20+8192, 4096, func(err error) { done++ })
+	eng.Run()
+	s = c.Stats()
+	if s.AdmitReuses != 1 || s.Fills != 1 {
+		t.Fatalf("reuse: reuses=%d fills=%d, want 1/1", s.AdmitReuses, s.Fills)
+	}
+	if be.missBytes != 4096+c.cfg.ReadAround {
+		t.Fatalf("reuse fetched %d total bytes, want %d", be.missBytes, 4096+c.cfg.ReadAround)
+	}
+	// The window is now resident: any byte of it hits locally.
+	c.Read(1<<20+32<<10, 4096, func(err error) { done++ })
+	eng.Run()
+	if done != 3 || c.Stats().Hits != 1 {
+		t.Fatalf("post-admit read: done=%d hits=%d, want 3/1", done, c.Stats().Hits)
+	}
+}
+
+func TestAdmitGhostEviction(t *testing.T) {
+	eng, c, _ := newTestCache(t, func(cfg *Config) {
+		cfg.AdmitOnReuse = true
+		cfg.GhostWindows = 2
+	})
+	ra := c.cfg.ReadAround
+	// Touch three distinct windows: the FIFO ghost (capacity 2) forgets
+	// the first.
+	for w := int64(0); w < 3; w++ {
+		c.Read(w*ra, 4096, func(error) {})
+		eng.Run()
+	}
+	// Window 0 was evicted from the ghost, so this is a first touch again.
+	c.Read(0, 4096, func(error) {})
+	eng.Run()
+	s := c.Stats()
+	if s.AdmitBypassed != 4 || s.AdmitReuses != 0 || s.Fills != 0 {
+		t.Fatalf("ghost eviction: bypassed=%d reuses=%d fills=%d, want 4/0/0",
+			s.AdmitBypassed, s.AdmitReuses, s.Fills)
+	}
+	if len(c.ghost) != 2 || len(c.ghostQ) != 2 {
+		t.Fatalf("ghost set size %d/%d, want 2/2", len(c.ghost), len(c.ghostQ))
+	}
+}
+
 func TestMissCoalescing(t *testing.T) {
 	eng, c, be := newTestCache(t, nil)
 	// Four QD>1 reads inside one 64 KiB read-around window, all issued

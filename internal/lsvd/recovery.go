@@ -42,6 +42,12 @@ func (c *Cache) Crash() {
 	// check skips the cache insert), but post-crash misses must fetch
 	// fresh rather than park on a result that predates the crash.
 	c.fills = make(map[fillKey]*inflightFill)
+	// The admission ghost set is in-memory recency state; it dies with
+	// the host like the indexes.
+	if c.ghost != nil {
+		c.ghost = make(map[int64]bool)
+		c.ghostQ = c.ghostQ[:0]
+	}
 	// Parked writers never acknowledged anything: replay them whole.
 	for _, op := range c.waiters {
 		if !op.queuedReplay {

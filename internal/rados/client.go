@@ -355,8 +355,9 @@ func (cl *Client) writeReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off 
 		endNet = cl.TransportSpan()
 	}
 	fab.Send(cl.Host, pNode, HdrBytes+len(data), func() {
-		// OSD-shard context from here on.
-		endNet(c.Eng)
+		// OSD-shard context from here on; spans close against the primary
+		// node's own domain clock.
+		endNet(c.EngineOf(primary))
 		remaining := len(members)
 		var firstErr error
 		ackOne := func(err error) {
@@ -417,7 +418,7 @@ func (cl *Client) readReplicatedSplit(p *sim.Proc, pool *Pool, obj string, off, 
 		endNet = cl.TransportSpan()
 	}
 	fab.Send(cl.Host, pNode, HdrBytes, func() {
-		endNet(c.Eng)
+		endNet(c.EngineOf(primary))
 		c.OSDs[primary].SubmitOpts(opts, OpRead, obj, off, nil, n, func(r Result) {
 			if r.Err != nil {
 				rerr := r.Err

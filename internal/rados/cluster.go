@@ -28,6 +28,12 @@ type ClusterConfig struct {
 	Profile OSDProfile
 	// NewStore builds each OSD's backing store (default NewMemStore).
 	NewStore func() ObjectStore
+	// NodeEngines, when non-nil (length Nodes), pins node i's OSDs — their
+	// lanes, timers and service processes — to NodeEngines[i] instead of the
+	// cluster engine. The split-domain testbed uses this to give every OSD
+	// node its own topology domain; all OSD-side work for a node must then
+	// run inside fabric arrivals on that node's domain.
+	NodeEngines []*sim.Engine
 }
 
 // DefaultClusterConfig returns the paper-testbed shape.
@@ -135,9 +141,22 @@ func NewCluster(eng *sim.Engine, fabric *netsim.Fabric, cfg ClusterConfig) (*Clu
 		c.NodeHosts = append(c.NodeHosts, h)
 	}
 	for i := 0; i < total; i++ {
-		c.OSDs = append(c.OSDs, NewOSD(eng, i, cfg.Profile, cfg.NewStore()))
+		oeng := eng
+		if cfg.NodeEngines != nil {
+			oeng = cfg.NodeEngines[i/cfg.OSDsPerNode]
+		}
+		c.OSDs = append(c.OSDs, NewOSD(oeng, i, cfg.Profile, cfg.NewStore()))
 	}
 	return c, nil
+}
+
+// EngineOf returns the engine OSD id's node domain runs on (the cluster
+// engine unless ClusterConfig.NodeEngines split the nodes over domains).
+func (c *Cluster) EngineOf(osd int) *sim.Engine {
+	if c.Cfg.NodeEngines != nil {
+		return c.Cfg.NodeEngines[osd/c.Cfg.OSDsPerNode]
+	}
+	return c.Eng
 }
 
 // NodeOf returns the fabric host of the node housing OSD id.

@@ -38,6 +38,14 @@ type ScaleConfig struct {
 	ReadPct      int
 	BlockBytes   int
 
+	// Tenants attributes every op to a tenant in 1..Tenants and records
+	// latency per tenant (compact histograms). 0 disables tenancy entirely:
+	// no extra random draws, so the event stream and digest are identical
+	// to a pre-tenancy run.
+	Tenants int
+	// TenantTheta Zipf-skews the per-op tenant draw (0 = uniform).
+	TenantTheta float64
+
 	// OSD service model: mean per-op service time, a per-KiB data cost, and
 	// a relative jitter fraction (0 = deterministic service).
 	ServiceMean   sim.Duration
@@ -115,6 +123,9 @@ func (c ScaleConfig) Validate() error {
 	if c.FailOSD >= 0 && c.Replicas < 2 {
 		return fmt.Errorf("rados: failure scenario needs Replicas >= 2, got %d", c.Replicas)
 	}
+	if c.Tenants < 0 {
+		return fmt.Errorf("rados: tenants %d", c.Tenants)
+	}
 	return c.Net.Validate()
 }
 
@@ -144,7 +155,11 @@ type scaleRack struct {
 	cls  []scaleClient
 
 	// Metrics, owned by this rack's shard; merged in rack order afterwards.
-	lat          *metrics.Histogram
+	lat *metrics.Histogram
+	// tenants is the per-tenant latency set (nil when tenancy is off) and
+	// tenantZipf the shared skew generator for this rack's clients.
+	tenants      *metrics.TenantSet
+	tenantZipf   *sim.Zipf
 	opsDone      uint64
 	bytesMoved   uint64
 	redirects    uint64
@@ -176,6 +191,7 @@ type scaleOp struct {
 	issued  sim.Time
 	read    bool
 	pg      int32
+	tenant  int // owning tenant (0 when tenancy is off)
 	acks    int
 }
 
@@ -206,6 +222,12 @@ func NewScaleCluster(cfg ScaleConfig) (*ScaleCluster, error) {
 			osds: make([]scaleOSD, cfg.OSDsPerRack),
 			cls:  make([]scaleClient, cfg.ClientsPerRack),
 			lat:  metrics.NewHistogram(),
+		}
+		if cfg.Tenants > 0 {
+			rk.tenants = metrics.NewTenantSet()
+			if cfg.TenantTheta > 0 && cfg.Tenants > 1 {
+				rk.tenantZipf = sim.NewZipf(int64(cfg.Tenants), cfg.TenantTheta)
+			}
 		}
 		for ci := range rk.cls {
 			rk.cls[ci].rng = sim.NewRNG(cfg.Seed ^ uint64(r*cfg.ClientsPerRack+ci+1)*0xbf58476d1ce4e5b9)
@@ -346,6 +368,15 @@ func (rk *scaleRack) issue(ci int) {
 	pg := int32(mix64(uint64(vol)<<24|uint64(blk)) % uint64(c.cfg.PGs))
 	read := cl.rng.Intn(100) < c.cfg.ReadPct
 	op := &scaleOp{srcRack: rk.id, client: ci, issued: rk.eng.Now(), read: read, pg: pg}
+	// The tenant draw is strictly gated on tenancy so an untenanted config
+	// consumes the exact pre-tenancy random stream (digest compatibility).
+	if c.cfg.Tenants > 0 {
+		if rk.tenantZipf != nil {
+			op.tenant = 1 + int(rk.tenantZipf.Next(cl.rng))
+		} else {
+			op.tenant = 1 + cl.rng.Intn(c.cfg.Tenants)
+		}
+	}
 	rk.send(op)
 }
 
@@ -455,6 +486,9 @@ func (rk *scaleRack) reply(op *scaleOp, bytes int) {
 	c.net.Send(rk.dom, src.dom, bytes, func() {
 		now := src.eng.Now()
 		src.lat.Record(now.Sub(op.issued))
+		if src.tenants != nil {
+			src.tenants.Record(op.tenant, now.Sub(op.issued))
+		}
 		src.opsDone++
 		src.bytesMoved += uint64(c.cfg.BlockBytes)
 		if now > src.lastDone {
@@ -534,6 +568,11 @@ type ScaleResult struct {
 	KIOPS      float64
 	Lat        *metrics.Histogram
 
+	// Per-tenant latency (nil when the config ran untenanted) and Jain's
+	// fairness index over per-tenant achieved service rates.
+	Tenants  *metrics.TenantSet
+	Fairness float64
+
 	// Recovery (failure scenarios only).
 	DegradedPGs  int
 	RecoveredPGs int
@@ -562,12 +601,18 @@ func (c *ScaleCluster) Run() *ScaleResult {
 		Windows:     c.sh.Windows(),
 		Messages:    c.sh.Posted(),
 	}
+	if cfg.Tenants > 0 {
+		res.Tenants = metrics.NewTenantSet()
+	}
 	var lastRecover sim.Time
 	for _, rk := range c.racks {
 		res.TotalOps += rk.opsDone
 		res.TotalBytes += rk.bytesMoved
 		res.Redirects += rk.redirects
 		res.Lat.Merge(rk.lat)
+		if res.Tenants != nil {
+			res.Tenants.Merge(rk.tenants)
+		}
 		if rk.lastDone > sim.Time(res.Elapsed) {
 			res.Elapsed = sim.Duration(rk.lastDone)
 		}
@@ -581,6 +626,15 @@ func (c *ScaleCluster) Run() *ScaleResult {
 	}
 	if cfg.FailOSD >= 0 && lastRecover > 0 {
 		res.RecoveryTime = lastRecover.Sub(c.failAt)
+	}
+	if res.Tenants != nil {
+		var xs []float64
+		for _, id := range res.Tenants.Tenants() {
+			if m := res.Tenants.Hist(id).Mean(); m > 0 {
+				xs = append(xs, 1/float64(m))
+			}
+		}
+		res.Fairness = metrics.Fairness(xs)
 	}
 	return res
 }
@@ -597,5 +651,13 @@ func (r *ScaleResult) Digest() uint64 {
 	fmt.Fprintf(h, "%d|%d|%d|%d\n",
 		int64(r.Lat.Percentile(50)), int64(r.Lat.Percentile(99)),
 		int64(r.Lat.Min()), int64(r.Lat.Max()))
+	// Tenanted runs fold every tenant's exact observables in as well; the
+	// guard keeps untenanted digests bit-identical to pre-tenancy seeds.
+	if r.Tenants != nil {
+		for _, s := range r.Tenants.Summaries() {
+			fmt.Fprintf(h, "t%d|%d|%d|%d|%d\n",
+				s.Tenant, s.Count, int64(s.Mean), int64(s.P99), int64(s.P999))
+		}
+	}
 	return h.Sum64()
 }

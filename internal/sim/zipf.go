@@ -1,0 +1,59 @@
+package sim
+
+import "math"
+
+// Zipf draws ranks in [0, n) from a bounded Zipf(theta) distribution using
+// the Gray et al. (SIGMOD '94) rejection-free method: one uniform draw per
+// sample, constants precomputed at construction. theta in (0, 1); ~0.99
+// matches YCSB's default skew. Shared by the workload layers that need
+// skewed populations (blocks, tenants) without depending on each other.
+type Zipf struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+// NewZipf builds a generator over [0, n). theta >= 1 is clamped to 0.999.
+func NewZipf(n int64, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta >= 1 {
+		theta = 0.999
+	}
+	z := &Zipf{n: n, theta: theta}
+	zeta2 := zipfZeta(2, theta)
+	z.zetan = zipfZeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.half = math.Pow(0.5, theta)
+	return z
+}
+
+func zipfZeta(n int64, theta float64) float64 {
+	var sum float64
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws one rank from rng; rank 0 is the hottest.
+func (z *Zipf) Next(rng *RNG) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}

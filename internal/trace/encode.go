@@ -104,6 +104,10 @@ func writeSpanEvent(bw *bufio.Writer, pid, tid int, sp *Span) {
 		bw.WriteString(",\"wait_ns\":")
 		bw.WriteString(strconv.FormatInt(int64(sp.Wait), 10))
 	}
+	if sp.Tenant != 0 {
+		bw.WriteString(",\"tenant\":")
+		bw.WriteString(strconv.Itoa(sp.Tenant))
+	}
 	if sp.Kind != "" {
 		bw.WriteString(",\"kind\":")
 		writeJSONString(bw, sp.Kind)
@@ -332,6 +336,7 @@ type rawSpanArgs struct {
 	Span   string `json:"span"`
 	Parent string `json:"parent"`
 	WaitNs int64  `json:"wait_ns"`
+	Tenant int    `json:"tenant"`
 	Kind   string `json:"kind"`
 	Cause  string `json:"cause"`
 }
@@ -389,7 +394,7 @@ func ReadFile(r io.Reader) (*File, error) {
 			if err := json.Unmarshal(ev.Args, &args); err != nil {
 				return nil, fmt.Errorf("trace: span args: %w", err)
 			}
-			sp := Span{Name: ev.Name, Domain: domains[ev.Pid][ev.Tid], Kind: args.Kind, Wait: sim.Duration(args.WaitNs)}
+			sp := Span{Name: ev.Name, Domain: domains[ev.Pid][ev.Tid], Kind: args.Kind, Wait: sim.Duration(args.WaitNs), Tenant: args.Tenant}
 			var err error
 			var v int64
 			if v, err = parseMicros(ev.Ts.String()); err != nil {

@@ -16,7 +16,7 @@ func sampleCells() []*Result {
 		{
 			Cell: "fig3/dk-sw/rand-read/4k", Ops: 120, Sampled: 4,
 			Spans: []Span{
-				{ID: 1<<32 | 1, Trace: 0xabc, Name: "io", Domain: "host", Start: 1000, Dur: 250000},
+				{ID: 1<<32 | 1, Trace: 0xabc, Name: "io", Domain: "host", Start: 1000, Dur: 250000, Tenant: 3},
 				{ID: 1<<32 | 2, Parent: 1<<32 | 1, Trace: 0xabc, Name: "blk-mq", Domain: "host", Start: 2000, Dur: 100000, Wait: 40000},
 				{ID: 2<<32 | 1, Parent: 1<<32 | 2, Trace: 0xabc, Name: "osd-service", Domain: "osds", Start: 50000, Dur: 30000, Wait: 1000, Kind: KindRetry, Cause: 1<<32 | 1},
 			},

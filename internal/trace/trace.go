@@ -90,6 +90,9 @@ type Span struct {
 	Start  sim.Time
 	Dur    sim.Duration
 	Wait   sim.Duration // queue-wait portion of Dur (service = Dur - Wait)
+	// Tenant is the owning tenant of the traced I/O (0 = untenanted). Set
+	// on root spans via SetTenant; per-tenant exemplar filtering keys on it.
+	Tenant int
 }
 
 // End returns the span's end time.
@@ -189,6 +192,14 @@ func (h H) SetWait(w sim.Duration) {
 		return
 	}
 	h.s.spans[h.i-1].Wait = w
+}
+
+// SetTenant tags the span with its owning tenant (0 = untenanted).
+func (h H) SetTenant(tenant int) {
+	if h.i == 0 {
+		return
+	}
+	h.s.spans[h.i-1].Tenant = tenant
 }
 
 // Link marks the span as caused by another span (retry, failover,

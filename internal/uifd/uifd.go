@@ -59,7 +59,12 @@ type Driver struct {
 	backend CardBackend
 	fn      *qdma.Function
 	queues  []*qdma.QueueSet
-	tenant  int
+	// vfs/vfQueues are the SR-IOV virtual functions provisioned for
+	// tenant-attributed traffic (empty when Config.VFs == 0); tenants hash
+	// onto the VF pool, spreading their queue pairs across functions.
+	vfs      []*qdma.Function
+	vfQueues [][]*qdma.QueueSet
+	tenant   int
 	// CMACOnly bypasses QDMA for tiny command-only traffic (the paper's
 	// network-monitoring use case where the system relies solely on the
 	// CMAC interface).
@@ -78,6 +83,11 @@ type Config struct {
 	HWQueues int
 	Queue    qdma.QueueKind
 	CMACOnly bool
+	// VFs provisions that many SR-IOV virtual functions beside the PF, each
+	// with its own HWQueues queue sets. Requests carrying a tenant identity
+	// hash onto the VFs (thousands of tenants share the VF pool); tenant 0
+	// traffic stays on the PF queue sets. 0 disables VF provisioning.
+	VFs int
 }
 
 // NewDriver allocates a tenant function and its queue sets.
@@ -109,7 +119,39 @@ func NewDriver(eng *sim.Engine, qe *qdma.Engine, backend CardBackend, cfg Config
 		}
 		d.queues = append(d.queues, qs)
 	}
+	// VF provisioning is pure QDMA state (no engine events), so enabling it
+	// cannot perturb the event sequence of untenanted traffic.
+	for v := 0; v < cfg.VFs; v++ {
+		vfn := qe.AddFunction(qdma.VF, cfg.HWQueues)
+		sets := make([]*qdma.QueueSet, 0, cfg.HWQueues)
+		for i := 0; i < cfg.HWQueues; i++ {
+			qs, err := qe.AllocQueueSet(cfg.Queue, vfn)
+			if err != nil {
+				return nil, fmt.Errorf("uifd: vf %d queue set %d: %w", v, i, err)
+			}
+			sets = append(sets, qs)
+		}
+		d.vfs = append(d.vfs, vfn)
+		d.vfQueues = append(d.vfQueues, sets)
+	}
 	return d, nil
+}
+
+// VFs returns the provisioned virtual functions (empty when Config.VFs == 0).
+func (d *Driver) VFs() []*qdma.Function { return d.vfs }
+
+// queueFor selects the QDMA queue set for a request: tenant-attributed
+// traffic hashes onto the VF pool (function first, then the queue pair
+// aligned with the hardware context); everything else rides the PF set
+// aligned with its hctx.
+func (d *Driver) queueFor(hctx, tenant int) *qdma.QueueSet {
+	if tenant > 0 && len(d.vfQueues) > 0 {
+		h := uint64(tenant) * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+		sets := d.vfQueues[h%uint64(len(d.vfQueues))]
+		return sets[hctx%len(sets)]
+	}
+	return d.queues[hctx%len(d.queues)]
 }
 
 // Function returns the SR-IOV function backing this driver.
@@ -127,14 +169,18 @@ func (d *Driver) QueueRq(hctx int, req *blockmq.Request) bool {
 	if hctx < 0 || hctx >= len(d.queues) {
 		return false
 	}
-	qs := d.queues[hctx%len(d.queues)]
+	qs := d.queueFor(hctx, req.Tenant)
+	tenant := d.tenant
+	if req.Tenant > 0 {
+		tenant = req.Tenant
+	}
 	creq := CardRequest{
 		Op:     req.Op,
 		Off:    req.Off,
 		Len:    req.Len,
 		Flags:  req.Flags,
 		HCtx:   hctx,
-		Tenant: d.tenant,
+		Tenant: tenant,
 		Trace:  req.Trace,
 	}
 	process := func() {
